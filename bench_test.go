@@ -1,0 +1,172 @@
+// Package erms benchmarks regenerate every table and figure of the paper's
+// evaluation (quick mode; run cmd/experiments for the full sweeps):
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the regenerated series once, then times repeated
+// regeneration. EXPERIMENTS.md records paper-vs-measured for each.
+package erms
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"erms/internal/experiments"
+)
+
+var printedMu sync.Mutex
+var printed = map[string]bool{}
+
+// runExperiment executes one experiment driver in quick mode, printing its
+// tables on the first run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printedMu.Lock()
+		if !printed[id] {
+			printed[id] = true
+			fmt.Fprintln(os.Stdout)
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+		}
+		printedMu.Unlock()
+	}
+}
+
+// BenchmarkFig02SharingCDF regenerates Fig. 2: the CDF of microservices
+// shared by N online services in the Alibaba-shaped topology.
+func BenchmarkFig02SharingCDF(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig03LatencyCurves regenerates Fig. 3: P95 latency vs workload
+// under different host interference, simulated truth vs piece-wise fit.
+func BenchmarkFig03LatencyCurves(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig04TargetsAndUsage regenerates Fig. 4: latency targets and
+// normalized resource usage on the U→P chain for Erms vs GrandSLAm/Rhythm.
+func BenchmarkFig04TargetsAndUsage(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig05MultiplexingSchemes regenerates the §2.3/Fig. 5 experiment:
+// CPU cores under FCFS sharing, non-sharing, and priority scheduling.
+func BenchmarkFig05MultiplexingSchemes(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig08Alg1GraphMerge regenerates the Fig. 7/8 walkthrough:
+// Algorithm 1 latency targets on the example graph.
+func BenchmarkFig08Alg1GraphMerge(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig09DeltaSweep regenerates Fig. 9: response time versus the
+// probabilistic-priority parameter δ.
+func BenchmarkFig09DeltaSweep(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10ProfilingAccuracy regenerates Fig. 10: profiling accuracy
+// across applications (a) and versus training-set size (b).
+func BenchmarkFig10ProfilingAccuracy(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11ContainersStatic regenerates Fig. 11: containers allocated
+// across static workload/SLA settings (CDF and averages).
+func BenchmarkFig11ContainersStatic(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12SLAOutcomes regenerates Fig. 12: simulated SLA violation
+// probability and normalized tail latency per scheme.
+func BenchmarkFig12SLAOutcomes(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13DynamicWorkload regenerates Fig. 13: containers and tail
+// latency over time under the dynamic Alibaba-shaped workload.
+func BenchmarkFig13DynamicWorkload(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14ModuleAblations regenerates Fig. 14: Latency Target
+// Computation alone and the marginal benefit of priority scheduling.
+func BenchmarkFig14ModuleAblations(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Provisioning regenerates Fig. 15: interference-aware
+// provisioning versus the stock Kubernetes scheduler.
+func BenchmarkFig15Provisioning(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16TraceDriven regenerates Fig. 16: the Taobao-scale
+// trace-driven comparison (CDF per service and totals).
+func BenchmarkFig16TraceDriven(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17Scalability regenerates §6.5.2: latency-target-computation
+// time versus dependency-graph size.
+func BenchmarkFig17Scalability(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18Theorem1 validates Theorem 1 numerically across random
+// scenarios.
+func BenchmarkFig18Theorem1(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19DynamicGraphs runs the §9 future-work extension: class-based
+// scaling of dynamic dependency-graph variants versus the complete graph.
+func BenchmarkFig19DynamicGraphs(b *testing.B) { runExperiment(b, "fig19") }
+
+// BenchmarkFig20POPAblation sweeps the provisioning partition count (§5.4).
+func BenchmarkFig20POPAblation(b *testing.B) { runExperiment(b, "fig20") }
+
+// BenchmarkFig21ExactGap measures the cost of Erms' scalable per-service
+// decomposition against the exact Eq. 13-14 optimum (dual-ascent solver).
+func BenchmarkFig21ExactGap(b *testing.B) { runExperiment(b, "fig21") }
+
+// --- micro-benchmarks on the core primitives -----------------------------
+
+// BenchmarkPlanHotel times one full Online Scaling pass (graph merge +
+// latency targets + priority recomputation) for the Hotel application.
+func BenchmarkPlanHotel(b *testing.B) {
+	sys, err := NewSystem(HotelReservation())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.UseAnalyticModels()
+	rates := hotelRates(40_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Plan(rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSocialNetwork times Online Scaling for the 36-microservice
+// Social Network application.
+func BenchmarkPlanSocialNetwork(b *testing.B) {
+	sys, err := NewSystem(SocialNetwork())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.UseAnalyticModels()
+	rates := map[string]float64{
+		"compose-post": 20_000, "home-timeline": 40_000, "user-timeline": 30_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Plan(rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures discrete-event throughput: simulated
+// requests per wall-clock second on a small deployment.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sys, err := NewSystem(HotelReservation())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.UseAnalyticModels()
+	rates := hotelRates(20_000)
+	plan, err := sys.Plan(rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Evaluate(plan, rates, 1, 0, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*20_000*4, "simulated-requests/op-total")
+}

@@ -1,0 +1,210 @@
+// Command ermsctl drives an Erms system from the command line: pick a
+// benchmark application, set per-service request rates, compute the scaling
+// plan, and optionally validate it with simulated traffic.
+//
+// Examples:
+//
+//	ermsctl -app hotel -rate 40000 -plan
+//	ermsctl -app social -rates compose-post=10000,home-timeline=60000,user-timeline=40000 -evaluate
+//	ermsctl -app alibaba -services 100 -rate 5000 -plan -scheme fcfs
+//	ermsctl -app hotel -rate 30000 -profile -evaluate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"erms"
+	"erms/internal/persist"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "hotel", "application: hotel, social, media, alibaba")
+		services = flag.Int("services", 100, "service count for -app alibaba")
+		rate     = flag.Float64("rate", 20_000, "uniform per-service request rate (req/min)")
+		rateList = flag.String("rates", "", "per-service rates: svc=rate,svc=rate (overrides -rate)")
+		scheme   = flag.String("scheme", "priority", "shared-microservice scheme: priority, fcfs, nonshared")
+		hosts    = flag.Int("hosts", 20, "cluster hosts (32 cores / 64GB each)")
+		doPlan   = flag.Bool("plan", false, "print the scaling plan")
+		doEval   = flag.Bool("evaluate", false, "simulate the deployment and report SLA outcomes")
+		doProf   = flag.Bool("profile", false, "fit models by offline profiling sweeps instead of analytic models")
+		duration = flag.Float64("minutes", 2, "simulated minutes for -evaluate")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		dotSvc   = flag.String("dot", "", "print the dependency graph of a service in Graphviz format and exit")
+		savePlan = flag.String("save-plan", "", "write the computed plan as JSON to this file")
+		saveApp  = flag.String("save-app", "", "write the application topology as JSON to this file and exit")
+		loadApp  = flag.String("load-app", "", "load the application from a JSON file (overrides -app)")
+	)
+	flag.Parse()
+
+	var app *erms.App
+	switch *appName {
+	case "hotel":
+		app = erms.HotelReservation()
+	case "social":
+		app = erms.SocialNetwork()
+	case "media":
+		app = erms.MediaService()
+	case "alibaba":
+		app = erms.Alibaba(erms.AlibabaConfig{Seed: *seed, Services: *services})
+	default:
+		log.Fatalf("unknown app %q", *appName)
+	}
+	if *loadApp != "" {
+		f, err := os.Open(*loadApp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err = persist.LoadApp(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveApp != "" {
+		f, err := os.Create(*saveApp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := persist.SaveApp(f, app); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *saveApp)
+		return
+	}
+
+	if *dotSvc != "" {
+		g := app.Graph(*dotSvc)
+		if g == nil {
+			log.Fatalf("no service %q in %s (services: %v)", *dotSvc, app.Name, app.Services())
+		}
+		fmt.Print(g.DOT())
+		return
+	}
+
+	rates := make(map[string]float64)
+	for _, svc := range app.Services() {
+		rates[svc] = *rate
+	}
+	if *rateList != "" {
+		for _, kv := range strings.Split(*rateList, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				log.Fatalf("bad -rates entry %q", kv)
+			}
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				log.Fatalf("bad rate in %q: %v", kv, err)
+			}
+			rates[parts[0]] = v
+		}
+	}
+
+	var sch erms.Scheme
+	switch *scheme {
+	case "priority":
+		sch = erms.SchemePriority
+	case "fcfs":
+		sch = erms.SchemeFCFS
+	case "nonshared":
+		sch = erms.SchemeNonShared
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+
+	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *doProf {
+		fmt.Fprintln(os.Stderr, "profiling offline (simulated sweeps)...")
+		failed, err := sys.ProfileOffline(erms.OfflineConfig{
+			Rates: []float64{5_000, 15_000, 30_000, 45_000, 55_000},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: analytic fallback for %v\n", failed)
+			sys.UseAnalyticModels()
+			if _, err := sys.ProfileOffline(erms.OfflineConfig{
+				Rates: []float64{5_000, 15_000, 30_000, 45_000, 55_000},
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		sys.UseAnalyticModels()
+	}
+
+	plan, err := sys.Plan(rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *savePlan != "" {
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := persist.SavePlan(f, plan); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *savePlan)
+	}
+
+	if *doPlan || !*doEval {
+		fmt.Printf("plan for %s (%s scheme): %d containers\n\n", app.Name, sch, plan.TotalContainers())
+		var mss []string
+		for ms := range plan.Containers {
+			mss = append(mss, ms)
+		}
+		sort.Strings(mss)
+		fmt.Printf("%-28s %10s %14s\n", "microservice", "containers", "target(ms)")
+		for _, ms := range mss {
+			target := ""
+			for _, alloc := range plan.PerService {
+				if t, ok := alloc.Targets[ms]; ok {
+					target = fmt.Sprintf("%.2f", t)
+					break
+				}
+			}
+			fmt.Printf("%-28s %10d %14s\n", ms, plan.Containers[ms], target)
+		}
+		if len(plan.Ranks) > 0 {
+			fmt.Println("\npriorities at shared microservices (0 = highest):")
+			var shared []string
+			for ms := range plan.Ranks {
+				shared = append(shared, ms)
+			}
+			sort.Strings(shared)
+			for _, ms := range shared {
+				fmt.Printf("  %-24s %v\n", ms, plan.Ranks[ms])
+			}
+		}
+	}
+
+	if *doEval {
+		res, err := sys.Evaluate(plan, rates, *duration, 0.3, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsimulated %.1f minutes:\n", *duration)
+		var svcs []string
+		for svc := range res.TailLatency {
+			svcs = append(svcs, svc)
+		}
+		sort.Strings(svcs)
+		for _, svc := range svcs {
+			fmt.Printf("  %-20s SLA %6.1fms  P95 %8.2fms  violations %5.2f%%\n",
+				svc, app.SLAs[svc].Threshold, res.TailLatency[svc], 100*res.Violations[svc])
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package erms_test
+
+import (
+	"fmt"
+
+	"erms"
+)
+
+// ExampleNewSystem shows the minimal plan-and-inspect flow: the Hotel
+// Reservation application planned for a uniform 10k req/min per service.
+func ExampleNewSystem() {
+	sys, err := erms.NewSystem(erms.HotelReservation())
+	if err != nil {
+		panic(err)
+	}
+	sys.UseAnalyticModels()
+	plan, err := sys.Plan(map[string]float64{
+		"search": 10_000, "recommend": 10_000, "reserve": 10_000, "login": 10_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scheme:", plan.Scheme)
+	fmt.Println("search ranked first at frontend:", plan.Ranks["frontend"]["search"] == 0)
+	fmt.Println("every microservice planned:", len(plan.Containers) == 15)
+	// Output:
+	// scheme: priority
+	// search ranked first at frontend: true
+	// every microservice planned: true
+}
+
+// ExampleApp_Shared lists the multiplexed microservices of an application
+// (§2.3): the ones whose scheduling Erms coordinates globally.
+func ExampleApp_Shared() {
+	fmt.Println(erms.SocialNetwork().Shared())
+	fmt.Println(erms.HotelReservation().Shared())
+	// Output:
+	// [post-storage post-storage-memcached post-storage-mongo]
+	// [frontend profile user]
+}
+
+// ExampleSystem_Plan compares the shared-microservice schemes on the same
+// workload: priority scheduling never needs more containers than FCFS.
+func ExampleSystem_Plan() {
+	rates := map[string]float64{
+		"compose-post": 20_000, "home-timeline": 60_000, "user-timeline": 40_000,
+	}
+	totals := map[erms.Scheme]int{}
+	for _, scheme := range []erms.Scheme{erms.SchemeFCFS, erms.SchemePriority} {
+		sys, err := erms.NewSystem(erms.SocialNetwork(), erms.WithScheme(scheme))
+		if err != nil {
+			panic(err)
+		}
+		sys.UseAnalyticModels()
+		plan, err := sys.Plan(rates)
+		if err != nil {
+			panic(err)
+		}
+		totals[scheme] = plan.TotalContainers()
+	}
+	fmt.Println("priority <= fcfs:", totals[erms.SchemePriority] <= totals[erms.SchemeFCFS])
+	// Output:
+	// priority <= fcfs: true
+}

@@ -1,0 +1,67 @@
+// Dynamic-workload management of the Hotel Reservation application (§6.3.2):
+// an Alibaba-shaped diurnal trace drives the search service; every scaling
+// window Erms re-plans from the observed workload, the deployment is
+// reconciled, and a window of simulated traffic validates the SLA.
+//
+//	go run ./examples/hotelreservation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"erms"
+	"erms/internal/workload"
+)
+
+func main() {
+	app := erms.HotelReservation()
+	sys, err := erms.NewSystem(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.UseAnalyticModels()
+
+	// Background batch load on half the hosts — the colocation Erms'
+	// provisioning module must steer around.
+	for host := 0; host < 20; host += 2 {
+		if err := sys.SetBackground(host, 0.45, 0.45); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const windows = 8
+	const windowMin = 1.5
+	trace := workload.AlibabaLikeTrace(11, windows*2, 15_000, 80_000)
+
+	fmt.Println("window  search-load  containers  worst-P95/SLA  violations")
+	for w := 0; w < windows; w++ {
+		searchRate := trace.RateAt(float64(w) * windowMin)
+		rates := map[string]float64{
+			"search":    searchRate,
+			"recommend": searchRate * 0.4,
+			"reserve":   searchRate * 0.15,
+			"login":     searchRate * 0.5,
+		}
+		plan, err := sys.Plan(rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Evaluate(plan, rates, windowMin, 0.3, uint64(w)+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var worstTail, worstViol float64
+		for svc, tail := range res.TailLatency {
+			if n := tail / app.SLAs[svc].Threshold; n > worstTail {
+				worstTail = n
+			}
+			if v := res.Violations[svc]; v > worstViol {
+				worstViol = v
+			}
+		}
+		fmt.Printf("%6d  %11.0f  %10d  %12.2fx  %9.2f%%\n",
+			w, searchRate, plan.TotalContainers(), worstTail, 100*worstViol)
+	}
+	fmt.Println("\nErms tracks the workload, scaling containers up at peaks and releasing them in troughs.")
+}

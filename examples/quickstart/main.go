@@ -1,0 +1,62 @@
+// Quickstart: manage the Hotel Reservation application with Erms.
+//
+// The flow mirrors the paper's architecture (Fig. 6): build latency models,
+// compute per-microservice latency targets and container counts for the
+// observed workload (Online Scaling), deploy through the orchestrator with
+// interference-aware provisioning, and validate the end-to-end SLAs by
+// driving the deployment with simulated traffic.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"erms"
+)
+
+func main() {
+	app := erms.HotelReservation()
+	sys, err := erms.NewSystem(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.UseAnalyticModels()
+
+	rates := map[string]float64{
+		"search": 40_000, "recommend": 25_000, "reserve": 12_000, "login": 30_000,
+	}
+	plan, err := sys.Plan(rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Erms plan for %s (%d services, shared: %v)\n\n",
+		app.Name, len(app.Services()), app.Shared())
+	var mss []string
+	for ms := range plan.Containers {
+		mss = append(mss, ms)
+	}
+	sort.Strings(mss)
+	fmt.Printf("%-22s %10s\n", "microservice", "containers")
+	for _, ms := range mss {
+		fmt.Printf("%-22s %10d\n", ms, plan.Containers[ms])
+	}
+	fmt.Printf("%-22s %10d\n\n", "TOTAL", plan.TotalContainers())
+
+	for ms, ranks := range plan.Ranks {
+		fmt.Printf("priority at shared %q: %v\n", ms, ranks)
+	}
+
+	res, err := sys.Evaluate(plan, rates, 2, 0.5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsimulated validation:")
+	for _, svc := range app.Services() {
+		fmt.Printf("  %-10s SLA %.0fms  P95 %.1fms  violations %.2f%%\n",
+			svc, app.SLAs[svc].Threshold, res.TailLatency[svc], 100*res.Violations[svc])
+	}
+}

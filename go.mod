@@ -1,0 +1,3 @@
+module erms
+
+go 1.22

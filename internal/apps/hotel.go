@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"erms/internal/graph"
+	"erms/internal/sim"
+	"erms/internal/workload"
+)
+
+// HotelReservation builds the Hotel Reservation application: 15 unique
+// microservices across 4 online services (search, recommend, reserve,
+// login), with 3 shared microservices (frontend, profile, user) — matching
+// the §6.1 application shape.
+func HotelReservation() *App {
+	// --- search ---------------------------------------------------------
+	search := graph.New("search", "frontend")
+	s := search.AddStage(search.Root, "search")[0]
+	gr := search.AddStage(s, "geo", "rate")
+	search.AddSequential(gr[0], "geo-memcached", "geo-mongo")
+	search.AddSequential(gr[1], "rate-memcached", "rate-mongo")
+	search.AddStage(s, "profile")
+
+	// --- recommend -------------------------------------------------------
+	recommend := graph.New("recommend", "frontend")
+	r := recommend.AddStage(recommend.Root, "recommend")[0]
+	recommend.AddSequential(r, "recommend-memcached", "recommend-mongo")
+	recommend.AddStage(r, "profile")
+
+	// --- reserve ----------------------------------------------------------
+	reserve := graph.New("reserve", "frontend")
+	rv := reserve.AddStage(reserve.Root, "reserve")[0]
+	reserve.AddSequential(rv, "reserve-mongo")
+	reserve.AddStage(rv, "user")
+
+	// --- login -------------------------------------------------------------
+	login := graph.New("login", "frontend")
+	login.AddStage(login.Root, "user")
+
+	profiles := map[string]sim.ServiceProfile{
+		"frontend":            {BaseMs: 0.4, CV: 0.3},
+		"search":              {BaseMs: 1.8, CV: 0.5},
+		"geo":                 {BaseMs: 1.2, CV: 0.5},
+		"geo-memcached":       {BaseMs: 0.3, CV: 0.3},
+		"geo-mongo":           {BaseMs: 2.0, CV: 0.6},
+		"rate":                {BaseMs: 1.4, CV: 0.5},
+		"rate-memcached":      {BaseMs: 0.3, CV: 0.3},
+		"rate-mongo":          {BaseMs: 2.1, CV: 0.6},
+		"profile":             {BaseMs: 2.6, CV: 0.6}, // shared, storage inlined
+		"recommend":           {BaseMs: 1.5, CV: 0.5},
+		"recommend-memcached": {BaseMs: 0.3, CV: 0.3},
+		"recommend-mongo":     {BaseMs: 2.2, CV: 0.6},
+		"reserve":             {BaseMs: 1.7, CV: 0.5},
+		"reserve-mongo":       {BaseMs: 2.5, CV: 0.6},
+		"user":                {BaseMs: 1.0, CV: 0.4}, // shared, storage inlined
+	}
+
+	slas := map[string]workload.SLA{
+		"search":    workload.P95SLA("search", 150),
+		"recommend": workload.P95SLA("recommend", 150),
+		"reserve":   workload.P95SLA("reserve", 200),
+		"login":     workload.P95SLA("login", 100),
+	}
+	return newApp("hotel-reservation",
+		[]*graph.Graph{search, recommend, reserve, login}, profiles, slas)
+}

@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"erms/internal/graph"
+	"erms/internal/sim"
+	"erms/internal/workload"
+)
+
+// mediaWorkers are the mid-tier handlers of the compose-review pipeline;
+// each is backed by a cache and a database, giving 2 + 12*3 = 38 unique
+// microservices in a single online service (§6.1: Media Service has 38
+// microservices and 1 service, hence no sharing).
+var mediaWorkers = []struct {
+	name   string
+	baseMs float64
+	stage  int
+}{
+	{"unique-id-media", 0.4, 0},
+	{"movie-id", 0.9, 0},
+	{"text-review", 1.6, 0},
+	{"user-review", 1.1, 0},
+	{"rating", 0.8, 0},
+	{"review-storage", 1.8, 1},
+	{"movie-review", 1.2, 2},
+	{"user-review-update", 1.2, 2},
+	{"movie-info", 1.4, 2},
+	{"cast-info", 1.3, 2},
+	{"plot", 1.0, 2},
+	{"page", 1.5, 2},
+}
+
+// MediaService builds the Media Service application: 38 unique
+// microservices in one compose-review service.
+func MediaService() *App {
+	g := graph.New("compose-review", "nginx-media")
+	cr := g.AddStage(g.Root, "compose-review")[0]
+
+	profiles := map[string]sim.ServiceProfile{
+		"nginx-media":    {BaseMs: 0.3, CV: 0.3},
+		"compose-review": {BaseMs: 1.3, CV: 0.5},
+	}
+
+	// Group workers into their pipeline stages.
+	byStage := make(map[int][]string)
+	maxStage := 0
+	for _, w := range mediaWorkers {
+		byStage[w.stage] = append(byStage[w.stage], w.name)
+		if w.stage > maxStage {
+			maxStage = w.stage
+		}
+		profiles[w.name] = sim.ServiceProfile{BaseMs: w.baseMs, CV: 0.5}
+		profiles[w.name+"-memcached"] = sim.ServiceProfile{BaseMs: 0.3, CV: 0.3}
+		profiles[w.name+"-mongo"] = sim.ServiceProfile{BaseMs: 2.2, CV: 0.6}
+	}
+	for s := 0; s <= maxStage; s++ {
+		nodes := g.AddStage(cr, byStage[s]...)
+		for _, n := range nodes {
+			g.AddSequential(n, n.Microservice+"-memcached", n.Microservice+"-mongo")
+		}
+	}
+
+	slas := map[string]workload.SLA{
+		"compose-review": workload.P95SLA("compose-review", 200),
+	}
+	return newApp("media-service", []*graph.Graph{g}, profiles, slas)
+}

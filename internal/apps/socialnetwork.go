@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"erms/internal/graph"
+	"erms/internal/sim"
+	"erms/internal/workload"
+)
+
+// SocialNetwork builds the Social Network application: 36 unique
+// microservices, 3 online services (compose-post, home-timeline,
+// user-timeline), and 3 shared microservices — the post-storage chain that
+// every service reads or writes (§6.1).
+//
+// Topology follows DeathStarBench's social network: ComposePost fans out to
+// text/user/media/unique-id handlers in parallel, persists through
+// post-storage, then updates the home and user timelines; the two read
+// services fetch timeline indices from their caches and hydrate posts from
+// the shared post-storage chain.
+func SocialNetwork() *App {
+	// --- compose-post -------------------------------------------------
+	compose := graph.New("compose-post", "nginx-compose")
+	cp := compose.AddStage(compose.Root, "compose-post")[0]
+	fan := compose.AddStage(cp, "unique-id", "text", "user", "media")
+	text, user, media := fan[1], fan[2], fan[3]
+	tf := compose.AddStage(text, "url-shorten", "user-mention")
+	compose.AddStage(tf[0], "url-shorten-mongo")
+	compose.AddSequential(tf[1], "user-mention-memcached", "user-mention-mongo")
+	compose.AddSequential(user, "user-memcached", "user-mongo")
+	compose.AddSequential(media, "media-memcached", "media-mongo")
+	ps := compose.AddStage(cp, "post-storage")[0]
+	compose.AddSequential(ps, "post-storage-memcached", "post-storage-mongo")
+	writes := compose.AddStage(cp, "write-home-timeline", "write-user-timeline")
+	wht, wut := writes[0], writes[1]
+	sg := compose.AddStage(wht, "social-graph")[0]
+	compose.AddSequential(sg, "social-graph-redis", "social-graph-mongo")
+	compose.AddStage(wht, "home-timeline-queue")
+	compose.AddStage(wut, "user-timeline-queue")
+
+	// --- home-timeline ------------------------------------------------
+	home := graph.New("home-timeline", "nginx-home")
+	ht := home.AddStage(home.Root, "home-timeline")[0]
+	home.AddSequential(ht, "home-timeline-redis")
+	ps2 := home.AddStage(ht, "post-storage")[0]
+	home.AddSequential(ps2, "post-storage-memcached", "post-storage-mongo")
+	mf := home.AddStage(ht, "media-frontend")[0]
+	home.AddSequential(mf, "media-cache", "media-store")
+
+	// --- user-timeline ------------------------------------------------
+	userTL := graph.New("user-timeline", "nginx-user")
+	auth := userTL.AddStage(userTL.Root, "auth")[0]
+	ut := userTL.AddStage(auth, "user-timeline")[0]
+	userTL.AddStage(ut, "user-timeline-redis", "user-timeline-mongo")
+	ps3 := userTL.AddStage(ut, "post-storage")[0]
+	userTL.AddSequential(ps3, "post-storage-memcached", "post-storage-mongo")
+
+	profiles := map[string]sim.ServiceProfile{
+		"nginx-compose":          {BaseMs: 0.3, CV: 0.3},
+		"nginx-home":             {BaseMs: 0.3, CV: 0.3},
+		"nginx-user":             {BaseMs: 0.3, CV: 0.3},
+		"compose-post":           {BaseMs: 1.2, CV: 0.5},
+		"unique-id":              {BaseMs: 0.4, CV: 0.3},
+		"text":                   {BaseMs: 1.8, CV: 0.5},
+		"url-shorten":            {BaseMs: 0.9, CV: 0.4},
+		"url-shorten-mongo":      {BaseMs: 2.2, CV: 0.6},
+		"user-mention":           {BaseMs: 0.8, CV: 0.4},
+		"user-mention-memcached": {BaseMs: 0.3, CV: 0.3},
+		"user-mention-mongo":     {BaseMs: 2.0, CV: 0.6},
+		"user":                   {BaseMs: 0.9, CV: 0.4},
+		"user-memcached":         {BaseMs: 0.3, CV: 0.3},
+		"user-mongo":             {BaseMs: 2.1, CV: 0.6},
+		"media":                  {BaseMs: 2.5, CV: 0.6},
+		"media-memcached":        {BaseMs: 0.4, CV: 0.3},
+		"media-mongo":            {BaseMs: 3.0, CV: 0.6},
+		"post-storage":           {BaseMs: 1.5, CV: 0.5},
+		"post-storage-memcached": {BaseMs: 0.3, CV: 0.3},
+		"post-storage-mongo":     {BaseMs: 2.4, CV: 0.6},
+		"write-home-timeline":    {BaseMs: 1.0, CV: 0.4},
+		"write-user-timeline":    {BaseMs: 1.0, CV: 0.4},
+		"social-graph":           {BaseMs: 1.4, CV: 0.5},
+		"social-graph-redis":     {BaseMs: 0.4, CV: 0.3},
+		"social-graph-mongo":     {BaseMs: 2.2, CV: 0.6},
+		"home-timeline-queue":    {BaseMs: 0.6, CV: 0.4},
+		"user-timeline-queue":    {BaseMs: 0.6, CV: 0.4},
+		"home-timeline":          {BaseMs: 1.6, CV: 0.5},
+		"home-timeline-redis":    {BaseMs: 0.4, CV: 0.3},
+		"media-frontend":         {BaseMs: 1.2, CV: 0.5},
+		"media-cache":            {BaseMs: 0.4, CV: 0.3},
+		"media-store":            {BaseMs: 2.8, CV: 0.6},
+		"auth":                   {BaseMs: 0.7, CV: 0.4},
+		// user-timeline is deliberately the most workload-sensitive
+		// microservice (largest base time): the motivating example of Fig. 4
+		// contrasts its sensitivity against post-storage's.
+		"user-timeline":       {BaseMs: 4.0, CV: 0.7},
+		"user-timeline-redis": {BaseMs: 0.4, CV: 0.3},
+		"user-timeline-mongo": {BaseMs: 2.3, CV: 0.6},
+	}
+
+	slas := map[string]workload.SLA{
+		"compose-post":  workload.P95SLA("compose-post", 200),
+		"home-timeline": workload.P95SLA("home-timeline", 150),
+		"user-timeline": workload.P95SLA("user-timeline", 150),
+	}
+	return newApp("social-network", []*graph.Graph{compose, home, userTL}, profiles, slas)
+}

@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TopologyStats summarizes an application's dependency-graph shape — the
+// statistics the paper's companion trace study ([26]) reports for
+// production graphs.
+type TopologyStats struct {
+	Services      int
+	Microservices int
+	Shared        int
+	// Nodes is the total call-tree positions across services.
+	Nodes int
+	// MeanGraphSize / MaxGraphSize are per-service node counts.
+	MeanGraphSize float64
+	MaxGraphSize  int
+	// MeanDepth / MaxDepth are call-chain depths.
+	MeanDepth float64
+	MaxDepth  int
+	// MaxFanOut is the widest parallel stage.
+	MaxFanOut int
+	// MaxSharingDegree is the largest number of services sharing one
+	// microservice.
+	MaxSharingDegree int
+}
+
+// Stats computes topology statistics for the application.
+func (a *App) Stats() TopologyStats {
+	st := TopologyStats{
+		Services:      len(a.Graphs),
+		Microservices: len(a.Microservices()),
+		Shared:        len(a.Shared()),
+	}
+	var depthSum int
+	for _, g := range a.Graphs {
+		n := g.Len()
+		st.Nodes += n
+		if n > st.MaxGraphSize {
+			st.MaxGraphSize = n
+		}
+		d := g.Depth()
+		depthSum += d
+		if d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+		for _, node := range g.PreOrder() {
+			for _, stage := range node.Stages {
+				if len(stage) > st.MaxFanOut {
+					st.MaxFanOut = len(stage)
+				}
+			}
+		}
+	}
+	if st.Services > 0 {
+		st.MeanGraphSize = float64(st.Nodes) / float64(st.Services)
+		st.MeanDepth = float64(depthSum) / float64(st.Services)
+	}
+	for _, deg := range a.SharingDegree() {
+		if deg > st.MaxSharingDegree {
+			st.MaxSharingDegree = deg
+		}
+	}
+	return st
+}
+
+// String renders the statistics as a one-line summary.
+func (s TopologyStats) String() string {
+	return fmt.Sprintf("services=%d microservices=%d shared=%d nodes=%d meanSize=%.1f maxSize=%d meanDepth=%.1f maxDepth=%d maxFanOut=%d maxSharing=%d",
+		s.Services, s.Microservices, s.Shared, s.Nodes, s.MeanGraphSize, s.MaxGraphSize,
+		s.MeanDepth, s.MaxDepth, s.MaxFanOut, s.MaxSharingDegree)
+}
+
+// Report renders a multi-line topology report including the per-service
+// graph sizes and the sharing-degree histogram.
+func (a *App) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "application %s\n  %s\n", a.Name, a.Stats())
+	b.WriteString("  per-service graphs:\n")
+	for _, g := range a.Graphs {
+		fmt.Fprintf(&b, "    %-24s nodes=%d depth=%d microservices=%d\n",
+			g.Service, g.Len(), g.Depth(), len(g.Microservices()))
+	}
+	hist := map[int]int{}
+	for _, deg := range a.SharingDegree() {
+		hist[deg]++
+	}
+	var degs []int
+	for d := range hist {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	b.WriteString("  sharing-degree histogram (services -> microservices):\n")
+	for _, d := range degs {
+		fmt.Fprintf(&b, "    %3d -> %d\n", d, hist[d])
+	}
+	return b.String()
+}
+
+// ValidateAgainstPaper checks the §6.1 application shapes: the
+// DeathStarBench-equivalent apps must carry the published microservice,
+// service and shared-microservice counts.
+func ValidateAgainstPaper() error {
+	checks := []struct {
+		app              *App
+		microservices    int
+		services, shared int
+	}{
+		{SocialNetwork(), 36, 3, 3},
+		{MediaService(), 38, 1, 0},
+		{HotelReservation(), 15, 4, 3},
+	}
+	for _, c := range checks {
+		st := c.app.Stats()
+		if st.Microservices != c.microservices || st.Services != c.services || st.Shared != c.shared {
+			return fmt.Errorf("apps: %s shape (%d µs, %d services, %d shared) != paper (%d, %d, %d)",
+				c.app.Name, st.Microservices, st.Services, st.Shared,
+				c.microservices, c.services, c.shared)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package cluster models the physical substrate: hosts with CPU and memory
+// capacity, microservice containers placed on them, utilization accounting,
+// and the resource-interference model that inflates container service times
+// when hosts run hot. It is the stand-in for the paper's 20-host testbed.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"erms/internal/workload"
+)
+
+// HostSpec describes one physical host.
+type HostSpec struct {
+	Cores int     // CPU cores
+	MemGB float64 // memory in GiB
+}
+
+// PaperHost matches the evaluation cluster: two-socket hosts with 32 cores
+// and 64 GB RAM (§6.1).
+var PaperHost = HostSpec{Cores: 32, MemGB: 64}
+
+// ContainerSpec is the resource configuration of one microservice container.
+type ContainerSpec struct {
+	Microservice string
+	CPU          float64 // cores requested, e.g. 0.1 (§6.1)
+	MemMB        float64 // memory requested in MiB, e.g. 200
+	Threads      int     // worker threads processing requests in parallel
+}
+
+// PaperContainer matches the evaluation configuration: 0.1 core and 200 MB
+// per container (§6.1), with a small worker pool.
+func PaperContainer(microservice string) ContainerSpec {
+	return ContainerSpec{Microservice: microservice, CPU: 0.1, MemMB: 200, Threads: 4}
+}
+
+// Validate checks the container spec.
+func (c ContainerSpec) Validate() error {
+	if c.Microservice == "" {
+		return errors.New("cluster: container with empty microservice")
+	}
+	if c.CPU <= 0 || c.MemMB <= 0 {
+		return fmt.Errorf("cluster: container %s with non-positive resources", c.Microservice)
+	}
+	if c.Threads <= 0 {
+		return fmt.Errorf("cluster: container %s with no worker threads", c.Microservice)
+	}
+	return nil
+}
+
+// Container is a placed instance of a microservice.
+type Container struct {
+	ID   int
+	Spec ContainerSpec
+	Host *Host
+
+	// cpuUsage is the CPU actually consumed (cores); defaults to the request
+	// and may be overwritten by the simulator with measured usage.
+	cpuUsage float64
+}
+
+// SetCPUUsage records measured CPU consumption in cores (clamped at 0).
+func (c *Container) SetCPUUsage(cores float64) {
+	if cores < 0 {
+		cores = 0
+	}
+	c.cpuUsage = cores
+}
+
+// CPUUsage returns the CPU consumption used for utilization accounting.
+func (c *Container) CPUUsage() float64 { return c.cpuUsage }
+
+// Host is one physical machine.
+type Host struct {
+	ID         int
+	Spec       HostSpec
+	Background workload.Interference // colocated batch-job load (iBench substitute)
+
+	containers map[int]*Container
+}
+
+// Containers returns the containers placed on the host, ordered by ID.
+func (h *Host) Containers() []*Container {
+	out := make([]*Container, 0, len(h.containers))
+	for _, c := range h.containers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CPUUtil returns the host CPU utilization in [0, 1]: background plus the sum
+// of container CPU usage over capacity, capped at 1.
+func (h *Host) CPUUtil() float64 {
+	u := h.Background.CPU
+	for _, c := range h.containers {
+		u += c.cpuUsage / float64(h.Spec.Cores)
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MemUtil returns the host memory utilization in [0, 1]: background plus
+// container memory requests over capacity, capped at 1.
+func (h *Host) MemUtil() float64 {
+	u := h.Background.Mem
+	for _, c := range h.containers {
+		u += c.Spec.MemMB / (h.Spec.MemGB * 1024)
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// CPUFree returns uncommitted CPU cores (requests, not usage).
+func (h *Host) CPUFree() float64 {
+	free := float64(h.Spec.Cores) * (1 - h.Background.CPU)
+	for _, c := range h.containers {
+		free -= c.Spec.CPU
+	}
+	return free
+}
+
+// MemFreeMB returns uncommitted memory in MiB.
+func (h *Host) MemFreeMB() float64 {
+	free := h.Spec.MemGB * 1024 * (1 - h.Background.Mem)
+	for _, c := range h.containers {
+		free -= c.Spec.MemMB
+	}
+	return free
+}
+
+// Fits reports whether the host has room for the given container spec.
+func (h *Host) Fits(spec ContainerSpec) bool {
+	return h.CPUFree() >= spec.CPU && h.MemFreeMB() >= spec.MemMB
+}
+
+// Cluster is a set of hosts with container placement state.
+type Cluster struct {
+	hosts      []*Host
+	containers map[int]*Container
+	nextCID    int
+}
+
+// New creates a cluster of n identical hosts.
+func New(n int, spec HostSpec) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one host")
+	}
+	cl := &Cluster{containers: make(map[int]*Container)}
+	for i := 0; i < n; i++ {
+		cl.hosts = append(cl.hosts, &Host{ID: i, Spec: spec, containers: make(map[int]*Container)})
+	}
+	return cl
+}
+
+// NewPaperCluster builds the evaluation cluster: 20 hosts of 32 cores / 64 GB.
+func NewPaperCluster() *Cluster { return New(20, PaperHost) }
+
+// Hosts returns the hosts in ID order.
+func (cl *Cluster) Hosts() []*Host { return cl.hosts }
+
+// Host returns the host with the given ID, or nil.
+func (cl *Cluster) Host(id int) *Host {
+	if id < 0 || id >= len(cl.hosts) {
+		return nil
+	}
+	return cl.hosts[id]
+}
+
+// NumHosts returns the host count.
+func (cl *Cluster) NumHosts() int { return len(cl.hosts) }
+
+// TotalCores returns the cluster CPU capacity in cores.
+func (cl *Cluster) TotalCores() float64 {
+	var t float64
+	for _, h := range cl.hosts {
+		t += float64(h.Spec.Cores)
+	}
+	return t
+}
+
+// TotalMemMB returns the cluster memory capacity in MiB.
+func (cl *Cluster) TotalMemMB() float64 {
+	var t float64
+	for _, h := range cl.hosts {
+		t += h.Spec.MemGB * 1024
+	}
+	return t
+}
+
+// DominantShare computes R_i from Eq. 3: the dominant fraction of cluster
+// capacity one container of the given spec consumes.
+func (cl *Cluster) DominantShare(spec ContainerSpec) float64 {
+	rc := spec.CPU / cl.TotalCores()
+	rm := spec.MemMB / cl.TotalMemMB()
+	if rc > rm {
+		return rc
+	}
+	return rm
+}
+
+// Place creates a container on the given host. It returns an error when the
+// host lacks capacity.
+func (cl *Cluster) Place(spec ContainerSpec, hostID int) (*Container, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := cl.Host(hostID)
+	if h == nil {
+		return nil, fmt.Errorf("cluster: no host %d", hostID)
+	}
+	if !h.Fits(spec) {
+		return nil, fmt.Errorf("cluster: host %d cannot fit container %s (cpu free %.2f, mem free %.0fMB)",
+			hostID, spec.Microservice, h.CPUFree(), h.MemFreeMB())
+	}
+	c := &Container{ID: cl.nextCID, Spec: spec, Host: h, cpuUsage: spec.CPU}
+	cl.nextCID++
+	h.containers[c.ID] = c
+	cl.containers[c.ID] = c
+	return c, nil
+}
+
+// Remove deletes a container by ID.
+func (cl *Cluster) Remove(containerID int) error {
+	c, ok := cl.containers[containerID]
+	if !ok {
+		return fmt.Errorf("cluster: no container %d", containerID)
+	}
+	delete(c.Host.containers, containerID)
+	delete(cl.containers, containerID)
+	return nil
+}
+
+// Containers returns all containers ordered by ID.
+func (cl *Cluster) Containers() []*Container {
+	out := make([]*Container, 0, len(cl.containers))
+	for _, c := range cl.containers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ContainersFor returns the containers of one microservice, ordered by ID.
+func (cl *Cluster) ContainersFor(microservice string) []*Container {
+	var out []*Container
+	for _, c := range cl.containers {
+		if c.Spec.Microservice == microservice {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountFor returns the number of containers deployed for a microservice.
+func (cl *Cluster) CountFor(microservice string) int {
+	n := 0
+	for _, c := range cl.containers {
+		if c.Spec.Microservice == microservice {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanCPUUtil returns the average host CPU utilization (§5.3.1 feeds this
+// into the profiling model).
+func (cl *Cluster) MeanCPUUtil() float64 {
+	var s float64
+	for _, h := range cl.hosts {
+		s += h.CPUUtil()
+	}
+	return s / float64(len(cl.hosts))
+}
+
+// MeanMemUtil returns the average host memory utilization.
+func (cl *Cluster) MeanMemUtil() float64 {
+	var s float64
+	for _, h := range cl.hosts {
+		s += h.MemUtil()
+	}
+	return s / float64(len(cl.hosts))
+}
+
+// Imbalance returns the resource-unbalance objective of §5.4: the sum over
+// hosts of squared deviation between host utilization and the cluster-wide
+// mean, for CPU and memory.
+func (cl *Cluster) Imbalance() float64 {
+	mc, mm := cl.MeanCPUUtil(), cl.MeanMemUtil()
+	var s float64
+	for _, h := range cl.hosts {
+		dc := h.CPUUtil() - mc
+		dm := h.MemUtil() - mm
+		s += dc*dc + dm*dm
+	}
+	return s
+}
+
+// SetBackground sets the colocated batch-job interference on a host.
+func (cl *Cluster) SetBackground(hostID int, itf workload.Interference) error {
+	h := cl.Host(hostID)
+	if h == nil {
+		return fmt.Errorf("cluster: no host %d", hostID)
+	}
+	h.Background = itf.Clamp(1)
+	return nil
+}
+
+// Reset removes all containers, keeping hosts and background levels.
+func (cl *Cluster) Reset() {
+	for _, h := range cl.hosts {
+		h.containers = make(map[int]*Container)
+	}
+	cl.containers = make(map[int]*Container)
+}

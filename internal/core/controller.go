@@ -1,0 +1,408 @@
+// Package core assembles the Erms system of Fig. 6: the Tracing Coordinator
+// and metrics store feed the Offline Profiler; the Online Scaling pipeline
+// (graph merge → latency target computation → priority scheduling) plans
+// container counts per microservice; and the Resource Provisioning module
+// places them on the cluster through the mini-Kubernetes orchestrator.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"erms/internal/apps"
+	"erms/internal/cluster"
+	"erms/internal/kube"
+	"erms/internal/metrics"
+	"erms/internal/multiplex"
+	"erms/internal/profiling"
+	"erms/internal/scaling"
+	"erms/internal/sim"
+	"erms/internal/trace"
+	"erms/internal/workload"
+)
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithScheme selects the shared-microservice scheme (default priority).
+func WithScheme(s multiplex.Scheme) Option {
+	return func(c *Controller) { c.Scheme = s }
+}
+
+// WithDelta sets the probabilistic priority parameter (default 0.05, §5.3.2).
+func WithDelta(d float64) Option {
+	return func(c *Controller) { c.Delta = d }
+}
+
+// WithInterferenceModel overrides the service-time inflation model.
+func WithInterferenceModel(m cluster.InterferenceModel) Option {
+	return func(c *Controller) { c.Interference = m }
+}
+
+// WithScheduler overrides the placement scheduler (default: the caller's
+// orchestrator scheduler is kept).
+func WithScheduler(s kube.Scheduler) Option {
+	return func(c *Controller) { c.scheduler = s }
+}
+
+// Controller is the Erms resource manager for one application on one
+// cluster.
+type Controller struct {
+	App  *apps.App
+	Orch *kube.Orchestrator
+
+	// Metrics is the Prometheus-substitute store scraped every window.
+	Metrics *metrics.Store
+	// Coordinator collects spans when simulations run with tracing enabled.
+	Coordinator *trace.Coordinator
+
+	// Models holds the per-microservice latency model used for scaling.
+	Models map[string]profiling.Model
+
+	// Scheme is the shared-microservice handling (priority by default;
+	// SchemeFCFS yields the Latency-Target-Computation-only ablation of
+	// §6.4.1).
+	Scheme multiplex.Scheme
+	// Delta is the δ of the probabilistic priority policy.
+	Delta float64
+	// Interference is the host-utilization → service-time inflation model.
+	Interference cluster.InterferenceModel
+
+	scheduler kube.Scheduler
+}
+
+// New creates a controller. The orchestrator's cluster must be the one the
+// application will run on.
+func New(app *apps.App, orch *kube.Orchestrator, opts ...Option) (*Controller, error) {
+	if app == nil || orch == nil {
+		return nil, errors.New("core: nil app or orchestrator")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		App:          app,
+		Orch:         orch,
+		Metrics:      metrics.NewStore(),
+		Coordinator:  trace.NewCoordinator(0.1),
+		Models:       make(map[string]profiling.Model),
+		Scheme:       multiplex.SchemePriority,
+		Delta:        0.05,
+		Interference: cluster.DefaultInterference,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.scheduler != nil {
+		orch.SetScheduler(c.scheduler)
+	}
+	return c, nil
+}
+
+// UseAnalyticModels fills Models with first-principles models derived from
+// the application's service profiles — the fast path for large-scale
+// experiments (§6.5). Empirical profiling via ProfileOffline replaces them
+// with fitted models.
+func (c *Controller) UseAnalyticModels() {
+	threads := make(map[string]int, len(c.App.Containers))
+	for ms, spec := range c.App.Containers {
+		threads[ms] = spec.Threads
+	}
+	c.Models = profiling.AnalyticModels(c.App.Profiles, threads, c.Interference)
+}
+
+// Loads returns loads[svc][ms]: the calls/minute service svc imposes on
+// microservice ms at the given request rates, accounting for microservices
+// that occupy multiple graph positions.
+func (c *Controller) Loads(rates map[string]float64) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(c.App.Graphs))
+	for _, g := range c.App.Graphs {
+		rate := rates[g.Service]
+		m := make(map[string]float64)
+		for _, ms := range g.Microservices() {
+			m[ms] = rate * float64(len(g.NodesFor(ms)))
+		}
+		out[g.Service] = m
+	}
+	return out
+}
+
+// Plan runs Online Scaling for the given per-service request rates
+// (requests/minute): initial latency targets, priority assignment at shared
+// microservices, recomputation with modified workloads, and the merged
+// container counts (§5.3).
+func (c *Controller) Plan(rates map[string]float64) (*multiplex.Plan, error) {
+	if len(c.Models) == 0 {
+		return nil, errors.New("core: no latency models; call UseAnalyticModels or ProfileOffline first")
+	}
+	for _, g := range c.App.Graphs {
+		if rates[g.Service] <= 0 {
+			return nil, fmt.Errorf("core: no rate for service %s", g.Service)
+		}
+	}
+	cl := c.Orch.Cluster()
+	cpu, mem := cl.MeanCPUUtil(), cl.MeanMemUtil()
+	inputs := make(map[string]scaling.Input, len(c.App.Graphs))
+	shares := make(map[string]float64, len(c.App.Containers))
+	for ms, spec := range c.App.Containers {
+		shares[ms] = cl.DominantShare(spec)
+	}
+	for _, g := range c.App.Graphs {
+		inputs[g.Service] = scaling.Input{
+			Graph:   g,
+			SLA:     c.App.SLAs[g.Service],
+			Models:  c.Models,
+			Shares:  shares,
+			CPUUtil: cpu,
+			MemUtil: mem,
+		}
+	}
+	return multiplex.PlanScheme(c.Scheme, inputs, c.Loads(rates), c.App.Shared())
+}
+
+// Explain renders the Algorithm 1 merge tree and latency-target derivation
+// for one service at the given request rates — the Fig. 7/8 walkthrough as
+// an operator-facing debugging tool. It uses each service's own workload
+// (the initial Latency Target Computation pass of §5.3.2).
+func (c *Controller) Explain(service string, rates map[string]float64) (string, error) {
+	if len(c.Models) == 0 {
+		return "", errors.New("core: no latency models; call UseAnalyticModels or ProfileOffline first")
+	}
+	g := c.App.Graph(service)
+	if g == nil {
+		return "", fmt.Errorf("core: unknown service %s", service)
+	}
+	cl := c.Orch.Cluster()
+	shares := make(map[string]float64, len(c.App.Containers))
+	for ms, spec := range c.App.Containers {
+		shares[ms] = cl.DominantShare(spec)
+	}
+	in := scaling.Input{
+		Graph:     g,
+		SLA:       c.App.SLAs[service],
+		Models:    c.Models,
+		Shares:    shares,
+		Workloads: c.Loads(rates)[service],
+		CPUUtil:   cl.MeanCPUUtil(),
+		MemUtil:   cl.MeanMemUtil(),
+	}
+	return scaling.Explain(in)
+}
+
+// Apply reconciles the plan onto the cluster through the orchestrator,
+// then lets Resource Provisioning smooth imbalance.
+func (c *Controller) Apply(plan *multiplex.Plan) error {
+	names := make([]string, 0, len(plan.Containers))
+	for ms := range plan.Containers {
+		names = append(names, ms)
+	}
+	sort.Strings(names)
+	for _, ms := range names {
+		if err := c.Orch.Apply(c.App.Containers[ms], plan.Containers[ms]); err != nil {
+			return fmt.Errorf("core: applying %s: %w", ms, err)
+		}
+	}
+	metrics.CollectCluster(c.Metrics, c.Orch.Cluster(), 0)
+	return nil
+}
+
+// Priorities converts a plan's ranks into the per-microservice service
+// priorities the simulator's δ-policy consumes. Nil for non-priority
+// schemes.
+func (c *Controller) Priorities(plan *multiplex.Plan) map[string]map[string]int {
+	if plan.Scheme != multiplex.SchemePriority {
+		return nil
+	}
+	return plan.Ranks
+}
+
+// EvalResult summarizes one evaluation window.
+type EvalResult struct {
+	Plan *multiplex.Plan
+	Sim  *sim.Result
+	// TotalContainers deployed during the window.
+	TotalContainers int
+	// Violations aggregates per-service SLA misses.
+	Violations map[string]float64
+	// TailLatency holds the per-service P95 end-to-end latency.
+	TailLatency map[string]float64
+}
+
+// Evaluate plans for the given rates, applies the plan, and runs the
+// discrete-event simulator for durationMin minutes to measure real
+// end-to-end behaviour (including queueing and interference the analytic
+// models only approximate).
+func (c *Controller) Evaluate(rates map[string]float64, durationMin, warmupMin float64, seed uint64) (*EvalResult, error) {
+	plan, err := c.Plan(rates)
+	if err != nil {
+		return nil, err
+	}
+	return c.EvaluatePlan(plan, rates, durationMin, warmupMin, seed)
+}
+
+// EvaluatePlan applies a precomputed plan and simulates it.
+func (c *Controller) EvaluatePlan(plan *multiplex.Plan, rates map[string]float64, durationMin, warmupMin float64, seed uint64) (*EvalResult, error) {
+	if err := c.Apply(plan); err != nil {
+		return nil, err
+	}
+	patterns := make(map[string]workload.Pattern, len(rates))
+	for svc, r := range rates {
+		patterns[svc] = workload.Static{Rate: r}
+	}
+	cfg := sim.Config{
+		Seed:           seed,
+		Cluster:        c.Orch.Cluster(),
+		Interference:   c.Interference,
+		Profiles:       c.App.Profiles,
+		Graphs:         c.App.Graphs,
+		Patterns:       patterns,
+		SLAs:           c.App.SLAs,
+		Priorities:     c.Priorities(plan),
+		Delta:          c.Delta,
+		DurationMin:    durationMin,
+		WarmupMin:      warmupMin,
+		NetworkDelayMs: 0.05,
+		Observer:       c.Coordinator,
+	}
+	rt, err := sim.NewRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := rt.Run()
+	out := &EvalResult{
+		Plan:            plan,
+		Sim:             res,
+		TotalContainers: plan.TotalContainers(),
+		Violations:      make(map[string]float64),
+		TailLatency:     make(map[string]float64),
+	}
+	for svc, sr := range res.PerService {
+		out.Violations[svc] = sr.ViolationRate()
+		out.TailLatency[svc] = sr.P95()
+	}
+	return out, nil
+}
+
+// OfflineConfig drives empirical profiling (§6.2): each interference level
+// is held while every workload point runs, mirroring the hour-by-hour
+// iBench injection of the paper's data collection.
+type OfflineConfig struct {
+	// Rates are the per-service request rates (req/min) swept per level. If
+	// a service is missing it uses the first rate.
+	Rates []float64
+	// Levels are the injected interference levels (defaults to
+	// workload.InterferenceLevels).
+	Levels []workload.Interference
+	// WindowMin is the measured duration per (rate, level) point.
+	WindowMin float64
+	// ContainersPerMS fixes the profiling deployment size (default 2).
+	ContainersPerMS int
+	Seed            uint64
+	// FitConfig tunes the model fit.
+	Fit profiling.FitConfig
+	// FromTraces fits from the Tracing Coordinator's sampled spans (the
+	// production path of §5.1-5.2: Eq. 1 latencies, inverse-sampling
+	// workload estimates) instead of the simulator's exact aggregates.
+	FromTraces bool
+}
+
+// ProfileOffline runs the offline profiling sweeps on the controller's
+// application and replaces Models with fitted piece-wise models. It returns
+// the microservices that could not be fitted (they keep analytic models if
+// present).
+func (c *Controller) ProfileOffline(cfg OfflineConfig) ([]string, error) {
+	if len(cfg.Rates) == 0 {
+		return nil, errors.New("core: ProfileOffline needs workload rates")
+	}
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = workload.InterferenceLevels
+	}
+	if cfg.WindowMin <= 0 {
+		cfg.WindowMin = 3
+	}
+	if cfg.ContainersPerMS <= 0 {
+		cfg.ContainersPerMS = 2
+	}
+	cl := c.Orch.Cluster()
+	samples := make(map[string][]profiling.Sample)
+	seed := cfg.Seed
+	for _, lvl := range cfg.Levels {
+		for _, h := range cl.Hosts() {
+			if err := cl.SetBackground(h.ID, lvl); err != nil {
+				return nil, err
+			}
+		}
+		for _, rate := range cfg.Rates {
+			cl.Reset()
+			for _, ms := range c.App.Microservices() {
+				spec := c.App.Containers[ms]
+				for k := 0; k < cfg.ContainersPerMS; k++ {
+					hostID := (len(cl.Containers()) + k) % cl.NumHosts()
+					if _, err := cl.Place(spec, hostID); err != nil {
+						return nil, fmt.Errorf("core: profiling placement: %w", err)
+					}
+				}
+			}
+			patterns := make(map[string]workload.Pattern)
+			for _, g := range c.App.Graphs {
+				patterns[g.Service] = workload.Static{Rate: rate}
+			}
+			simCfg := sim.Config{
+				Seed:         seed,
+				Cluster:      cl,
+				Interference: c.Interference,
+				Profiles:     c.App.Profiles,
+				Graphs:       c.App.Graphs,
+				Patterns:     patterns,
+				DurationMin:  cfg.WindowMin + 0.5,
+				WarmupMin:    0.5,
+			}
+			if cfg.FromTraces {
+				c.Coordinator.Reset()
+				simCfg.Observer = c.Coordinator
+				simCfg.SampleRate = c.Coordinator.SampleRate
+			}
+			rt, err := sim.NewRuntime(simCfg)
+			if err != nil {
+				return nil, err
+			}
+			res := rt.Run()
+			if cfg.FromTraces {
+				// The production path: Eq. 1 latencies and inverse-sampling
+				// workload estimates from the Tracing Coordinator, joined
+				// with the injected interference level (the OS metrics).
+				aggs := c.Coordinator.MinuteAggregates(func(string) int { return cfg.ContainersPerMS })
+				for _, a := range aggs {
+					// Minute 0 overlaps the warmup transient; drop it.
+					if a.Minute == 0 || a.Calls == 0 || a.TailMs <= 0 {
+						continue
+					}
+					samples[a.Microservice] = append(samples[a.Microservice], profiling.Sample{
+						Workload: a.PerContainerCalls,
+						TailMs:   a.TailMs,
+						CPUUtil:  lvl.CPU,
+						MemUtil:  lvl.Mem,
+					})
+				}
+			} else {
+				for ms, ss := range profiling.FromMinuteSamples(res.Samples) {
+					samples[ms] = append(samples[ms], ss...)
+				}
+			}
+			seed++
+		}
+	}
+	// Clear the injected background before normal operation resumes.
+	for _, h := range cl.Hosts() {
+		cl.SetBackground(h.ID, workload.Interference{})
+	}
+	cl.Reset()
+
+	models, failed := profiling.FitAll(samples, cfg.Fit)
+	for ms, m := range models {
+		c.Models[ms] = m
+	}
+	sort.Strings(failed)
+	return failed, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"erms/internal/multiplex"
+	"erms/internal/provision"
+	"erms/internal/workload"
+)
+
+// Reconciler runs the periodic control loop of Fig. 6: every window it
+// observes the workload, re-runs Online Scaling, reconciles the deployment
+// (with scale-down hysteresis to avoid container churn), and measures the
+// window's real behaviour in the simulator.
+type Reconciler struct {
+	C *Controller
+	// WindowMin is the scaling interval in simulated minutes. Default 1.5.
+	WindowMin float64
+	// WarmupMin is excluded from each window's statistics. Default 0.3.
+	WarmupMin float64
+	// DownscaleSlack delays scale-down: a microservice is only shrunk when
+	// the new plan is below the current count by more than this fraction.
+	// Scale-ups always apply immediately (SLA safety is asymmetric).
+	// Default 0.15.
+	DownscaleSlack float64
+	// RebalanceMoves bounds the background container migrations the
+	// Resource Provisioning module performs each window to smooth
+	// utilization imbalance (§5.4). 0 disables rebalancing.
+	RebalanceMoves int
+
+	history []WindowReport
+}
+
+// WindowReport summarizes one reconciliation window.
+type WindowReport struct {
+	Window      int
+	Rates       map[string]float64
+	Containers  int
+	Violations  map[string]float64
+	TailLatency map[string]float64
+	// ScaledUp / ScaledDown count the microservices that changed.
+	ScaledUp   int
+	ScaledDown int
+}
+
+// NewReconciler wraps a controller with default loop parameters.
+func NewReconciler(c *Controller) *Reconciler {
+	return &Reconciler{C: c, WindowMin: 1.5, WarmupMin: 0.3, DownscaleSlack: 0.15}
+}
+
+// History returns the reports of all completed windows.
+func (r *Reconciler) History() []WindowReport {
+	out := make([]WindowReport, len(r.history))
+	copy(out, r.history)
+	return out
+}
+
+// applyWithHysteresis merges the new plan with the current deployment:
+// scale-ups apply immediately, scale-downs only past the slack.
+func (r *Reconciler) applyWithHysteresis(plan *multiplex.Plan) (up, down int, err error) {
+	for ms, want := range plan.Containers {
+		cur := r.C.Orch.Replicas(ms)
+		switch {
+		case want > cur:
+			up++
+		case want < cur:
+			if float64(cur-want) <= r.DownscaleSlack*float64(cur) {
+				plan.Containers[ms] = cur // hold: inside the slack band
+				continue
+			}
+			down++
+		}
+	}
+	return up, down, r.C.Apply(plan)
+}
+
+// Step runs one window at the given observed rates.
+func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport, error) {
+	if r.C == nil {
+		return nil, errors.New("core: reconciler without controller")
+	}
+	plan, err := r.C.Plan(rates)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconcile plan: %w", err)
+	}
+	up, down, err := r.applyWithHysteresis(plan)
+	if err != nil {
+		return nil, err
+	}
+	if r.RebalanceMoves > 0 {
+		provision.Rebalance(r.C.Orch.Cluster(), r.RebalanceMoves)
+	}
+	res, err := r.C.EvaluatePlan(plan, rates, r.WindowMin, r.WarmupMin, seed)
+	if err != nil {
+		return nil, err
+	}
+	report := WindowReport{
+		Window:      len(r.history),
+		Rates:       rates,
+		Containers:  plan.TotalContainers(),
+		Violations:  res.Violations,
+		TailLatency: res.TailLatency,
+		ScaledUp:    up,
+		ScaledDown:  down,
+	}
+	r.history = append(r.history, report)
+	return &report, nil
+}
+
+// Run drives the loop for the given number of windows, sampling each
+// service's pattern at the window start — the §6.3.2 dynamic-workload
+// experiment as a reusable component.
+func (r *Reconciler) Run(patterns map[string]workload.Pattern, windows int, seed uint64) ([]WindowReport, error) {
+	if windows <= 0 {
+		return nil, errors.New("core: need at least one window")
+	}
+	for _, g := range r.C.App.Graphs {
+		if _, ok := patterns[g.Service]; !ok {
+			return nil, fmt.Errorf("core: no pattern for service %s", g.Service)
+		}
+	}
+	start := len(r.history)
+	for w := 0; w < windows; w++ {
+		t := float64(w) * r.WindowMin
+		rates := make(map[string]float64, len(patterns))
+		for svc, p := range patterns {
+			rate := p.RateAt(t)
+			if rate <= 0 {
+				rate = 1
+			}
+			rates[svc] = rate
+		}
+		if _, err := r.Step(rates, seed+uint64(w)); err != nil {
+			return nil, err
+		}
+	}
+	return r.History()[start:], nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"erms/internal/workload"
+)
+
+func TestReconcilerTracksWorkload(t *testing.T) {
+	c := hotelController(t)
+	r := NewReconciler(c)
+	r.WindowMin = 1.0
+
+	patterns := map[string]workload.Pattern{}
+	// Ramp: the load triples over the run.
+	trace := workload.Trace{Rates: []float64{10_000, 20_000, 30_000}, StepMin: 1}
+	for _, svc := range c.App.Services() {
+		patterns[svc] = trace
+	}
+	reports, err := r.Run(patterns, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[2].Containers <= reports[0].Containers {
+		t.Fatalf("containers did not grow with load: %d -> %d",
+			reports[0].Containers, reports[2].Containers)
+	}
+	for _, rep := range reports {
+		for svc, v := range rep.Violations {
+			if v > 0.05 {
+				t.Fatalf("window %d: %s violates %.1f%%", rep.Window, svc, v*100)
+			}
+		}
+	}
+	if len(r.History()) != 3 {
+		t.Fatal("history incomplete")
+	}
+}
+
+func TestReconcilerHysteresisHoldsSmallDownscales(t *testing.T) {
+	c := hotelController(t)
+	r := NewReconciler(c)
+	r.WindowMin = 0.8
+	r.DownscaleSlack = 0.9 // hold almost any scale-down
+
+	if _, err := r.Step(hotelRates(30_000), 1); err != nil {
+		t.Fatal(err)
+	}
+	high := c.Orch.TotalReplicas()
+	rep, err := r.Step(hotelRates(8_000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the huge slack nothing shrinks.
+	if c.Orch.TotalReplicas() < high {
+		t.Fatalf("hysteresis failed: %d -> %d", high, c.Orch.TotalReplicas())
+	}
+	if rep.ScaledDown != 0 {
+		t.Fatalf("scaledDown = %d with full slack", rep.ScaledDown)
+	}
+
+	// With zero slack the deployment shrinks.
+	r2 := NewReconciler(hotelController(t))
+	r2.WindowMin = 0.8
+	r2.DownscaleSlack = 0
+	if _, err := r2.Step(hotelRates(30_000), 3); err != nil {
+		t.Fatal(err)
+	}
+	high2 := r2.C.Orch.TotalReplicas()
+	if _, err := r2.Step(hotelRates(8_000), 4); err != nil {
+		t.Fatal(err)
+	}
+	if r2.C.Orch.TotalReplicas() >= high2 {
+		t.Fatalf("no-slack reconciler did not shrink: %d -> %d", high2, r2.C.Orch.TotalReplicas())
+	}
+}
+
+func TestReconcilerErrors(t *testing.T) {
+	r := &Reconciler{}
+	if _, err := r.Step(nil, 1); err == nil {
+		t.Fatal("nil controller accepted")
+	}
+	c := hotelController(t)
+	r2 := NewReconciler(c)
+	if _, err := r2.Run(map[string]workload.Pattern{}, 2, 1); err == nil {
+		t.Fatal("missing patterns accepted")
+	}
+	if _, err := r2.Run(map[string]workload.Pattern{"search": workload.Static{Rate: 1}}, 0, 1); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+}
+
+func TestReconcilerRebalances(t *testing.T) {
+	c := hotelController(t)
+	// Skew the cluster: heavy batch load on half the hosts.
+	for i := 0; i < 20; i += 2 {
+		c.Orch.Cluster().SetBackground(i, workload.Interference{CPU: 0.6, Mem: 0.6})
+	}
+	r := NewReconciler(c)
+	r.WindowMin = 0.6
+	r.RebalanceMoves = 20
+	if _, err := r.Step(hotelRates(20_000), 9); err != nil {
+		t.Fatal(err)
+	}
+	with := c.Orch.Cluster().Imbalance()
+
+	c2 := hotelController(t)
+	for i := 0; i < 20; i += 2 {
+		c2.Orch.Cluster().SetBackground(i, workload.Interference{CPU: 0.6, Mem: 0.6})
+	}
+	r2 := NewReconciler(c2)
+	r2.WindowMin = 0.6
+	r2.RebalanceMoves = 0
+	if _, err := r2.Step(hotelRates(20_000), 9); err != nil {
+		t.Fatal(err)
+	}
+	without := c2.Orch.Cluster().Imbalance()
+	if with > without*1.0001 {
+		t.Fatalf("rebalancing made imbalance worse: %v vs %v", with, without)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"erms/internal/apps"
+	"erms/internal/cluster"
+	"erms/internal/kube"
+	"erms/internal/provision"
+	"erms/internal/sim"
+	"erms/internal/stats"
+	"erms/internal/workload"
+)
+
+// simSettingDebug mirrors simSetting but logs minute aggregates and host
+// placement.
+func simSettingDebug(t *testing.T, p planner, s staticSetting, durationMin float64, seed uint64) (float64, float64, error) {
+	models := modelsFor(s.app, defaultInterference())
+	floor := appSLAFloor(s.app, models, staticBackground.CPU, staticBackground.Mem)
+	slaMs := floor * s.slaMult
+	pc := newContext(s.app, uniformRates(s.app, s.rate), slaMs, staticBackground.CPU, staticBackground.Mem)
+	res, err := p.run(pc)
+	if err != nil {
+		return 0, 0, err
+	}
+	cl := cluster.New(20, cluster.PaperHost)
+	for _, h := range cl.Hosts() {
+		if h.ID%2 == 0 {
+			cl.SetBackground(h.ID, workload.Interference{CPU: 0.55, Mem: 0.55})
+		} else {
+			cl.SetBackground(h.ID, workload.Interference{CPU: 0.15, Mem: 0.15})
+		}
+	}
+	var sched kube.Scheduler = kube.BlindSpread{}
+	if p.name == "erms" {
+		sched = &provision.InterferenceAware{Groups: 4}
+	}
+	orch := kube.New(cl, sched)
+	mss := make([]string, 0, len(res.merged))
+	for ms := range res.merged {
+		mss = append(mss, ms)
+	}
+	sort.Strings(mss)
+	for _, ms := range mss {
+		if perr := orch.Apply(s.app.Containers[ms], res.merged[ms]); perr != nil {
+			return 0, 0, perr
+		}
+	}
+	for _, h := range cl.Hosts() {
+		t.Logf("host %2d bg=(%.2f,%.2f) containers=%d", h.ID, h.Background.CPU, h.Background.Mem, len(h.Containers()))
+	}
+	patterns := make(map[string]workload.Pattern)
+	slas := make(map[string]workload.SLA)
+	for _, g := range s.app.Graphs {
+		patterns[g.Service] = workload.Static{Rate: s.rate}
+		slas[g.Service] = workload.P95SLA(g.Service, slaMs)
+	}
+	rt, rerr := sim.NewRuntime(sim.Config{
+		Seed: seed, Cluster: cl, Interference: defaultInterference(),
+		Profiles: s.app.Profiles, Graphs: s.app.Graphs, Patterns: patterns,
+		SLAs: slas, DurationMin: durationMin + 0.5, WarmupMin: 0.5,
+	})
+	if rerr != nil {
+		return 0, 0, rerr
+	}
+	out := rt.Run()
+	for _, m := range out.Samples {
+		if m.Minute == 1 {
+			t.Logf("ms %-22s perC=%8.0f tail=%9.1f cpu=%.2f mem=%.2f n=%d",
+				m.Microservice, m.PerContainerCalls, m.TailMs, m.CPUUtil, m.MemUtil, m.Containers)
+		}
+	}
+	var v, tl stats.Moments
+	for svc, sr := range out.PerService {
+		t.Logf("svc %-12s P95=%9.1f viol=%.3f", svc, sr.P95(), sr.ViolationRate())
+		v.Add(sr.ViolationRate())
+		tl.Add(sr.P95() / slaMs)
+	}
+	return v.Mean(), tl.Mean(), nil
+}
+
+// TestDebugFig12Erms prints the per-microservice allocation versus offered
+// load for the setting where Fig. 12 showed anomalies. Run with -v.
+func TestDebugFig12Erms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug helper")
+	}
+	app := apps.HotelReservation()
+	models := modelsFor(app, defaultInterference())
+	floor := appSLAFloor(app, models, staticBackground.CPU, staticBackground.Mem)
+	pc := newContext(app, uniformRates(app, 40_000), floor*3.0, staticBackground.CPU, staticBackground.Mem)
+	res, err := ermsPlanner("erms", 0).run(pc) // SchemePriority == 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sla=%.1f floor=%.1f", floor*3.0, floor)
+	total := make(map[string]float64)
+	for _, byMS := range pc.loads {
+		for ms, g := range byMS {
+			total[ms] += g
+		}
+	}
+	for ms, n := range res.merged {
+		m := models[ms]
+		knee := m.Knee(pc.cpu, pc.mem)
+		sat := knee / 0.75
+		perC := total[ms] / float64(n)
+		t.Logf("%-22s n=%3d load=%8.0f perC=%8.0f knee=%8.0f sat=%8.0f rho=%.2f",
+			ms, n, total[ms], perC, knee, sat, perC/sat)
+	}
+	_ = fmt.Sprint
+}
+
+// TestDebugFig12Sim reruns the failing simulation and dumps per-microservice
+// minute aggregates.
+func TestDebugFig12Sim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug helper")
+	}
+	app := apps.HotelReservation()
+	s := staticSetting{app: app, rate: 40_000, slaMult: 3.0, slaLevel: "3x"}
+	viol, tail, err := simSettingDebug(t, ermsPlanner("erms", 0), s, 1.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("violations=%.3f tailOverSLA=%.2f", viol, tail)
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"erms/internal/apps"
+	"erms/internal/baselines"
+	"erms/internal/cluster"
+	"erms/internal/kube"
+	"erms/internal/multiplex"
+	"erms/internal/provision"
+	"erms/internal/scaling"
+	"erms/internal/sim"
+	"erms/internal/stats"
+	"erms/internal/workload"
+)
+
+func init() {
+	register("fig14", Fig14)
+	register("fig15", Fig15)
+}
+
+// Fig14 isolates the two Online Scaling components (§6.4.1-6.4.2):
+// (a) Latency Target Computation alone (Erms with default FCFS at shared
+// microservices) against the baselines, and (b) the additional benefit of
+// priority scheduling for Erms versus retrofitting it onto GrandSLAm and
+// Rhythm.
+func Fig14(quick bool) []*Table {
+	settings := staticSettings(quick)
+
+	// (a) Erms-LTC (FCFS) vs baselines.
+	a := &Table{
+		ID:     "fig14a",
+		Title:  "Latency Target Computation alone (FCFS at shared microservices): average containers",
+		Header: []string{"scheme", "avg containers", "vs erms-ltc"},
+	}
+	plannersA := []planner{
+		ermsPlanner("erms-ltc", multiplex.SchemeFCFS),
+		baselinePlanner(baselines.Firm{}),
+		baselinePlanner(baselines.GrandSLAm{}),
+		baselinePlanner(baselines.Rhythm{}),
+	}
+	avg := map[string]*stats.Moments{}
+	for _, p := range plannersA {
+		avg[p.name] = &stats.Moments{}
+	}
+	for _, s := range settings {
+		for _, p := range plannersA {
+			total, err := planSetting(p, s)
+			if err != nil {
+				panic(err)
+			}
+			avg[p.name].Add(float64(total))
+		}
+	}
+	ltc := avg["erms-ltc"].Mean()
+	for _, p := range plannersA {
+		a.AddRow(p.name, f1(avg[p.name].Mean()), fmt.Sprintf("%+.1f%%", 100*(avg[p.name].Mean()/ltc-1)))
+	}
+	a.AddNote("paper: LTC alone beats firm/grandslam/rhythm by 19%%/35.8%%/33.4%%")
+
+	// (b) Priority scheduling benefit per scheme: plan with FCFS aggregate
+	// workloads versus with priority-modified workloads.
+	b := &Table{
+		ID:     "fig14b",
+		Title:  "Benefit of priority scheduling: average containers with / without priority",
+		Header: []string{"scheme", "without", "with priority", "saving"},
+	}
+	type schemePair struct {
+		name    string
+		without func(pc planContext) (*planResult, error)
+		with    func(pc planContext) (*planResult, error)
+	}
+	baselineWithPriority := func(s baselines.Autoscaler) func(pc planContext) (*planResult, error) {
+		return func(pc planContext) (*planResult, error) {
+			// Retrofit: keep the baseline's target computation, but feed it
+			// the priority-modified cumulative workloads. Ranks come from an
+			// initial baseline pass on each service's own load — only shared
+			// microservices change, which is why the paper finds the benefit
+			// marginal for these systems (§6.4.2).
+			inputs := make(map[string]baselines.Input, len(pc.app.Graphs))
+			for _, g := range pc.app.Graphs {
+				inputs[g.Service] = baselines.Input{
+					Graph: g, SLA: pc.slas[g.Service], Models: pc.models,
+					Shares: pc.shares, Stats: pc.stats, CPUUtil: pc.cpu, MemUtil: pc.mem,
+				}
+			}
+			initial := make(map[string]*scaling.Allocation)
+			for svc, in := range inputs {
+				in.Workloads = pc.loads[svc]
+				alloc, err := s.Plan(in)
+				if err != nil {
+					return nil, err
+				}
+				initial[svc] = alloc
+			}
+			ranks := multiplex.AssignPriorities(initial, pc.app.Shared())
+			modified := multiplex.ModifiedWorkloads(ranks, pc.loads)
+			merged := make(map[string]int)
+			per := make(map[string]*scaling.Allocation)
+			sharedSet := map[string]bool{}
+			for _, ms := range pc.app.Shared() {
+				sharedSet[ms] = true
+			}
+			for svc, in := range inputs {
+				in.Workloads = modified[svc]
+				alloc, err := s.Plan(in)
+				if err != nil {
+					return nil, err
+				}
+				per[svc] = alloc
+				for ms, n := range alloc.Containers {
+					if sharedSet[ms] {
+						if n > merged[ms] {
+							merged[ms] = n
+						}
+					} else {
+						merged[ms] += n
+					}
+				}
+			}
+			return &planResult{merged: merged, perService: per}, nil
+		}
+	}
+	pairs := []schemePair{
+		{
+			name:    "erms",
+			without: ermsPlanner("erms-fcfs", multiplex.SchemeFCFS).run,
+			with:    ermsPlanner("erms-priority", multiplex.SchemePriority).run,
+		},
+		{
+			name:    "grandslam",
+			without: baselinePlanner(baselines.GrandSLAm{}).run,
+			with:    baselineWithPriority(baselines.GrandSLAm{}),
+		},
+		{
+			name:    "rhythm",
+			without: baselinePlanner(baselines.Rhythm{}).run,
+			with:    baselineWithPriority(baselines.Rhythm{}),
+		},
+	}
+	for _, pair := range pairs {
+		var without, with stats.Moments
+		for _, s := range settings {
+			models := modelsFor(s.app, defaultInterference())
+			floor := appSLAFloor(s.app, models, staticBackground.CPU, staticBackground.Mem)
+			pc := newContext(s.app, uniformRates(s.app, s.rate), floor*s.slaMult,
+				staticBackground.CPU, staticBackground.Mem)
+			r1, err := pair.without(pc)
+			if err != nil {
+				panic(err)
+			}
+			r2, err := pair.with(pc)
+			if err != nil {
+				panic(err)
+			}
+			without.Add(float64(r1.total()))
+			with.Add(float64(r2.total()))
+		}
+		b.AddRow(pair.name, f1(without.Mean()), f1(with.Mean()),
+			fmt.Sprintf("%.1f%%", 100*(1-with.Mean()/without.Mean())))
+	}
+	b.AddNote("paper: priority scheduling saves ~20%% for Erms but <5%% for GrandSLAm/Rhythm")
+	return []*Table{a, b}
+}
+
+// Fig15 evaluates interference-aware Resource Provisioning (§6.4.3) against
+// the stock Kubernetes scheduler: (a) the container multiple each placement
+// policy needs to meet the SLA under injected interference, and (b) tail
+// latency at equal resources.
+func Fig15(quick bool) []*Table {
+	app := apps.HotelReservation()
+	rate := 120_000.0
+	duration := 1.5
+	multiples := []float64{1.0, 1.3, 1.6, 2.0}
+	levels := []struct {
+		name    string
+		hot     workload.Interference
+		cool    workload.Interference
+		slaMult float64
+	}{
+		{"low-itf", workload.Interference{CPU: 0.35, Mem: 0.35}, workload.Interference{CPU: 0.15, Mem: 0.15}, 2.0},
+		{"high-itf", workload.Interference{CPU: 0.65, Mem: 0.65}, workload.Interference{CPU: 0.15, Mem: 0.15}, 2.0},
+		{"high-sla", workload.Interference{CPU: 0.55, Mem: 0.55}, workload.Interference{CPU: 0.15, Mem: 0.15}, 1.3},
+	}
+	if quick {
+		levels = levels[1:2]
+		multiples = []float64{1.0, 1.5, 2.0}
+		duration = 0.8
+		rate = 100_000
+	}
+
+	deployAndRun := func(sched kube.Scheduler, merged map[string]int, mult float64,
+		hot, cool workload.Interference, slaMs float64, seed uint64) (float64, float64) {
+		cl := cluster.New(20, cluster.PaperHost)
+		for _, h := range cl.Hosts() {
+			if h.ID%2 == 0 {
+				cl.SetBackground(h.ID, hot)
+			} else {
+				cl.SetBackground(h.ID, cool)
+			}
+		}
+		orch := kube.New(cl, sched)
+		mss := make([]string, 0, len(merged))
+		for ms := range merged {
+			mss = append(mss, ms)
+		}
+		sort.Strings(mss)
+		for _, ms := range mss {
+			n := int(float64(merged[ms])*mult + 0.999)
+			if err := orch.Apply(app.Containers[ms], n); err != nil {
+				panic(err)
+			}
+		}
+		// Closed-loop clients bound the saturation blow-up of badly placed
+		// deployments (the paper's load generator is likewise closed-loop).
+		const thinkMs = 1000.0
+		users := make(map[string]int)
+		slas := make(map[string]workload.SLA)
+		for _, g := range app.Graphs {
+			users[g.Service] = int(rate * (thinkMs + 30) / 60000)
+			slas[g.Service] = workload.P95SLA(g.Service, slaMs)
+		}
+		rt, err := sim.NewRuntime(sim.Config{
+			Seed: seed, Cluster: cl, Interference: defaultInterference(),
+			Profiles: app.Profiles, Graphs: app.Graphs,
+			ClosedUsers: users, ThinkTimeMs: thinkMs, SLAs: slas,
+			DurationMin: duration + 0.4, WarmupMin: 0.4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		out := rt.Run()
+		var viol, tail stats.Moments
+		for _, sr := range out.PerService {
+			viol.Add(sr.ViolationRate())
+			tail.Add(sr.P95() / slaMs)
+		}
+		return viol.Mean(), tail.Mean()
+	}
+
+	a := &Table{
+		ID:     "fig15a",
+		Title:  "Container multiple needed to reach <5% violations (interference-aware vs K8s default)",
+		Header: []string{"scenario", "erms provisioning", "k8s default", "k8s overhead"},
+	}
+	b := &Table{
+		ID:     "fig15b",
+		Title:  "P95/SLA at equal (1x) resources",
+		Header: []string{"scenario", "erms provisioning", "k8s default", "improvement"},
+	}
+	seed := uint64(51)
+	for _, lvl := range levels {
+		avgBg := workload.Interference{
+			CPU: (lvl.hot.CPU + lvl.cool.CPU) / 2,
+			Mem: (lvl.hot.Mem + lvl.cool.Mem) / 2,
+		}
+		models := modelsFor(app, defaultInterference())
+		floor := appSLAFloor(app, models, avgBg.CPU, avgBg.Mem)
+		slaMs := floor * lvl.slaMult
+		pc := newContext(app, uniformRates(app, rate), slaMs, avgBg.CPU, avgBg.Mem)
+		res, err := ermsPlanner("erms", multiplex.SchemePriority).run(pc)
+		if err != nil {
+			panic(err)
+		}
+
+		need := func(sched kube.Scheduler) float64 {
+			for _, m := range multiples {
+				viol, _ := deployAndRun(sched, res.merged, m, lvl.hot, lvl.cool, slaMs, seed)
+				seed++
+				if viol < 0.05 {
+					return m
+				}
+			}
+			return multiples[len(multiples)-1] * 1.5 // did not converge in range
+		}
+		ermsNeed := need(&provision.InterferenceAware{Groups: 4})
+		k8sNeed := need(kube.BlindSpread{})
+		a.AddRow(lvl.name, fmt.Sprintf("%.1fx", ermsNeed), fmt.Sprintf("%.1fx", k8sNeed),
+			fmt.Sprintf("%+.0f%%", 100*(k8sNeed/ermsNeed-1)))
+
+		_, ermsTail := deployAndRun(&provision.InterferenceAware{Groups: 4}, res.merged, 1.0, lvl.hot, lvl.cool, slaMs, seed)
+		seed++
+		_, k8sTail := deployAndRun(kube.BlindSpread{}, res.merged, 1.0, lvl.hot, lvl.cool, slaMs, seed)
+		seed++
+		b.AddRow(lvl.name, f2(ermsTail), f2(k8sTail), fmt.Sprintf("%.2fx", k8sTail/ermsTail))
+	}
+	a.AddNote("paper: K8s needs >50%% more containers; 2x at high SLA")
+	b.AddNote("paper: 1.2x average latency improvement; 2.2x under high interference")
+	return []*Table{a, b}
+}

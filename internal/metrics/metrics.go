@@ -1,0 +1,187 @@
+// Package metrics is a small in-process time-series store standing in for
+// Prometheus: the Erms Tracing Coordinator records OS-level metrics (host and
+// container CPU/memory utilization) here, and the profiling and provisioning
+// modules query it back out (§5.1).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"erms/internal/cluster"
+	"erms/internal/stats"
+)
+
+// Point is one observation of a series.
+type Point struct {
+	T float64 // timestamp in minutes
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// Points returns a copy of the series data.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Store holds named time series. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string]*Series)}
+}
+
+// Key builds a canonical series name from a metric name and labels, e.g.
+// Key("host_cpu", "host", "3") -> `host_cpu{host="3"}`.
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("metrics: Key labels must be key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Append records one observation. Timestamps should be non-decreasing per
+// series; out-of-order points are accepted but Range assumes order.
+func (st *Store) Append(key string, t, v float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[key]
+	if !ok {
+		s = &Series{Name: key}
+		st.series[key] = s
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Names returns all series names, sorted.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.series))
+	for k := range st.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range returns the points of a series with t0 <= T < t1.
+func (st *Store) Range(key string, t0, t1 float64) []Point {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.series[key]
+	if !ok {
+		return nil
+	}
+	lo := sort.Search(len(s.points), func(i int) bool { return s.points[i].T >= t0 })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].T >= t1 })
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
+// Latest returns the most recent point of a series.
+func (st *Store) Latest(key string) (Point, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.series[key]
+	if !ok || len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// MeanInRange returns the mean value of a series over [t0, t1), and false if
+// the window is empty.
+func (st *Store) MeanInRange(key string, t0, t1 float64) (float64, bool) {
+	pts := st.Range(key, t0, t1)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	var m stats.Moments
+	for _, p := range pts {
+		m.Add(p.V)
+	}
+	return m.Mean(), true
+}
+
+// QuantileInRange returns the q-quantile of a series over [t0, t1).
+func (st *Store) QuantileInRange(key string, q, t0, t1 float64) (float64, bool) {
+	pts := st.Range(key, t0, t1)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.V
+	}
+	return stats.Quantile(vals, q), true
+}
+
+// Canonical metric names used by the collectors.
+const (
+	MetricHostCPU = "host_cpu_util"
+	MetricHostMem = "host_mem_util"
+	MetricMSCPU   = "microservice_cpu_util" // mean util of hosts running the microservice
+	MetricMSMem   = "microservice_mem_util"
+	MetricMSCount = "microservice_containers"
+)
+
+// CollectCluster snapshots host-level and per-microservice utilization of the
+// cluster into the store at the given time (minutes). This is the Prometheus
+// scrape of the paper's deployment.
+func CollectCluster(st *Store, cl *cluster.Cluster, tMin float64) {
+	perMSCPU := make(map[string]*stats.Moments)
+	perMSMem := make(map[string]*stats.Moments)
+	perMSCount := make(map[string]int)
+	for _, h := range cl.Hosts() {
+		cpu, mem := h.CPUUtil(), h.MemUtil()
+		hostLabel := fmt.Sprint(h.ID)
+		st.Append(Key(MetricHostCPU, "host", hostLabel), tMin, cpu)
+		st.Append(Key(MetricHostMem, "host", hostLabel), tMin, mem)
+		for _, c := range h.Containers() {
+			ms := c.Spec.Microservice
+			if perMSCPU[ms] == nil {
+				perMSCPU[ms] = &stats.Moments{}
+				perMSMem[ms] = &stats.Moments{}
+			}
+			perMSCPU[ms].Add(cpu)
+			perMSMem[ms].Add(mem)
+			perMSCount[ms]++
+		}
+	}
+	for ms, m := range perMSCPU {
+		st.Append(Key(MetricMSCPU, "ms", ms), tMin, m.Mean())
+		st.Append(Key(MetricMSMem, "ms", ms), tMin, perMSMem[ms].Mean())
+		st.Append(Key(MetricMSCount, "ms", ms), tMin, float64(perMSCount[ms]))
+	}
+}

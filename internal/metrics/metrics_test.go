@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"erms/internal/cluster"
+	"erms/internal/workload"
+)
+
+func TestKey(t *testing.T) {
+	if got := Key("m"); got != "m" {
+		t.Fatalf("bare key = %q", got)
+	}
+	if got := Key("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Fatalf("labeled key = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label count should panic")
+		}
+	}()
+	Key("m", "a")
+}
+
+func TestAppendAndRange(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 10; i++ {
+		st.Append("s", float64(i), float64(i)*2)
+	}
+	pts := st.Range("s", 3, 7)
+	if len(pts) != 4 {
+		t.Fatalf("range len = %d", len(pts))
+	}
+	if pts[0].T != 3 || pts[3].T != 6 {
+		t.Fatalf("range bounds wrong: %v", pts)
+	}
+	if got := st.Range("missing", 0, 10); got != nil {
+		t.Fatal("missing series should be nil")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	st := NewStore()
+	if _, ok := st.Latest("s"); ok {
+		t.Fatal("latest on empty store")
+	}
+	st.Append("s", 1, 10)
+	st.Append("s", 2, 20)
+	p, ok := st.Latest("s")
+	if !ok || p.V != 20 || p.T != 2 {
+		t.Fatalf("latest = %+v ok=%v", p, ok)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 100; i++ {
+		st.Append("s", float64(i), float64(i))
+	}
+	m, ok := st.MeanInRange("s", 0, 100)
+	if !ok || math.Abs(m-49.5) > 1e-9 {
+		t.Fatalf("mean = %v ok=%v", m, ok)
+	}
+	q, ok := st.QuantileInRange("s", 0.5, 0, 100)
+	if !ok || math.Abs(q-49.5) > 1e-9 {
+		t.Fatalf("median = %v", q)
+	}
+	if _, ok := st.MeanInRange("s", 200, 300); ok {
+		t.Fatal("empty window should report !ok")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	st := NewStore()
+	st.Append("b", 0, 1)
+	st.Append("a", 0, 1)
+	names := st.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	st := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				st.Append(Key("s", "g", string(rune('0'+g))), float64(i), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(st.Names()) != 8 {
+		t.Fatalf("series count = %d", len(st.Names()))
+	}
+	for _, n := range st.Names() {
+		if got := len(st.Range(n, 0, 1e9)); got != 1000 {
+			t.Fatalf("series %s has %d points", n, got)
+		}
+	}
+}
+
+func TestCollectCluster(t *testing.T) {
+	cl := cluster.New(2, cluster.HostSpec{Cores: 10, MemGB: 10})
+	cl.SetBackground(0, workload.Interference{CPU: 0.5, Mem: 0.25})
+	if _, err := cl.Place(cluster.PaperContainer("frontend"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Place(cluster.PaperContainer("frontend"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Place(cluster.PaperContainer("storage"), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore()
+	CollectCluster(st, cl, 5)
+
+	p, ok := st.Latest(Key(MetricHostCPU, "host", "0"))
+	if !ok || p.V < 0.5 {
+		t.Fatalf("host 0 cpu = %+v", p)
+	}
+	// frontend runs on both hosts: its utilization is the average.
+	fcpu, ok := st.Latest(Key(MetricMSCPU, "ms", "frontend"))
+	if !ok {
+		t.Fatal("no frontend cpu series")
+	}
+	h0 := cl.Host(0).CPUUtil()
+	h1 := cl.Host(1).CPUUtil()
+	if math.Abs(fcpu.V-(h0+h1)/2) > 1e-9 {
+		t.Fatalf("frontend cpu = %v, want %v", fcpu.V, (h0+h1)/2)
+	}
+	cnt, ok := st.Latest(Key(MetricMSCount, "ms", "frontend"))
+	if !ok || cnt.V != 2 {
+		t.Fatalf("frontend containers = %+v", cnt)
+	}
+	scount, _ := st.Latest(Key(MetricMSCount, "ms", "storage"))
+	if scount.V != 1 {
+		t.Fatalf("storage containers = %v", scount.V)
+	}
+}

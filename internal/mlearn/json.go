@@ -1,0 +1,56 @@
+package mlearn
+
+import "encoding/json"
+
+// treeJSON is the serialized form of a Tree node.
+type treeJSON struct {
+	Leaf      bool      `json:"leaf"`
+	Value     float64   `json:"value,omitempty"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      *treeJSON `json:"left,omitempty"`
+	Right     *treeJSON `json:"right,omitempty"`
+}
+
+func toJSON(t *Tree) *treeJSON {
+	if t == nil {
+		return nil
+	}
+	if t.leaf {
+		return &treeJSON{Leaf: true, Value: t.value}
+	}
+	return &treeJSON{
+		Feature:   t.feature,
+		Threshold: t.threshold,
+		Left:      toJSON(t.left),
+		Right:     toJSON(t.right),
+	}
+}
+
+func fromJSON(j *treeJSON) *Tree {
+	if j == nil {
+		return nil
+	}
+	if j.Leaf {
+		return &Tree{leaf: true, value: j.Value}
+	}
+	return &Tree{
+		feature:   j.Feature,
+		threshold: j.Threshold,
+		left:      fromJSON(j.Left),
+		right:     fromJSON(j.Right),
+	}
+}
+
+// MarshalJSON serializes the tree structure.
+func (t *Tree) MarshalJSON() ([]byte, error) { return json.Marshal(toJSON(t)) }
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j treeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*t = *fromJSON(&j)
+	return nil
+}

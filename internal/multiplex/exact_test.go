@@ -1,0 +1,168 @@
+package multiplex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"erms/internal/stats"
+)
+
+// exactFromTheorem builds the 2-service Eq. 13-14 instance of Theorem 1:
+// microservices [U, H, P]; service 1 = U + P(γ1), service 2 = H + P(γ1+γ2).
+func exactFromTheorem(p Theorem1Params) *ExactProblem {
+	return &ExactProblem{
+		R: []float64{p.RU, p.RH, p.RP},
+		A: [][]float64{
+			{p.AU * p.Gamma1, 0, p.AP * p.Gamma1},
+			{0, p.AH * p.Gamma2, p.AP * (p.Gamma1 + p.Gamma2)},
+		},
+		Slack: []float64{p.SLA1 - p.BU - p.BP, p.SLA2 - p.BH - p.BP},
+	}
+}
+
+func TestExactMatchesGoldenSectionOnTwoServices(t *testing.T) {
+	r := stats.NewRNG(3)
+	for trial := 0; trial < 40; trial++ {
+		p := theoremParams(r)
+		want, err := p.PriorityUsage()
+		if err != nil {
+			continue
+		}
+		sol, err := exactFromTheorem(p).Solve(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Usage-want)/want > 1e-4 {
+			t.Fatalf("trial %d: exact %v vs golden-section %v", trial, sol.Usage, want)
+		}
+	}
+}
+
+func TestExactSingleServiceMatchesClosedForm(t *testing.T) {
+	// One service, three microservices: Eq. 5's closed form.
+	a := []float64{2.0, 0.5, 1.2}
+	rr := []float64{0.3, 0.2, 0.5}
+	slack := 10.0
+	prob := &ExactProblem{
+		R:     rr,
+		A:     [][]float64{a},
+		Slack: []float64{slack},
+	}
+	sol, err := prob.Solve(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root float64
+	for i := range a {
+		root += math.Sqrt(a[i] * rr[i])
+	}
+	want := root * root / slack
+	if math.Abs(sol.Usage-want)/want > 1e-6 {
+		t.Fatalf("usage %v, closed form %v", sol.Usage, want)
+	}
+	// Constraint binds.
+	var lhs float64
+	for i := range a {
+		lhs += a[i] / sol.N[i]
+	}
+	if math.Abs(lhs-slack)/slack > 1e-6 {
+		t.Fatalf("constraint lhs %v != slack %v", lhs, slack)
+	}
+}
+
+func TestExactFeasibilityAndOptimality(t *testing.T) {
+	// Across random instances: the solution satisfies every constraint and
+	// random feasible perturbations cost at least as much.
+	f := func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed) + 11)
+		services := 2 + r.Intn(3)
+		micro := 3 + r.Intn(5)
+		prob := &ExactProblem{
+			R:     make([]float64, micro),
+			A:     make([][]float64, services),
+			Slack: make([]float64, services),
+		}
+		for i := range prob.R {
+			prob.R[i] = 0.0001 + 0.001*r.Float64()
+		}
+		for k := range prob.A {
+			prob.A[k] = make([]float64, micro)
+			for i := range prob.A[k] {
+				if r.Float64() < 0.6 {
+					prob.A[k][i] = 10 + 500*r.Float64()
+				}
+			}
+			// Ensure non-empty path.
+			prob.A[k][r.Intn(micro)] = 10 + 500*r.Float64()
+			prob.Slack[k] = 20 + 200*r.Float64()
+		}
+		sol, err := prob.Solve(0, 0)
+		if err != nil {
+			return false
+		}
+		for k := range prob.A {
+			var lhs float64
+			for i := range prob.A[k] {
+				if prob.A[k][i] == 0 {
+					continue
+				}
+				if sol.N[i] <= 0 {
+					return false
+				}
+				lhs += prob.A[k][i] / sol.N[i]
+			}
+			if lhs > prob.Slack[k]*1.001 {
+				return false
+			}
+		}
+		// Perturb: scale all n by 0.99 (violates some binding constraint) or
+		// 1.01 (feasible but costs more).
+		bigger := 0.0
+		for i := range sol.N {
+			bigger += sol.N[i] * 1.01 * prob.R[i]
+		}
+		return bigger >= sol.Usage
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactBeatsHeuristicUpperBound(t *testing.T) {
+	// The exact optimum is never worse than the independent-solve upper
+	// bound (Appendix A's construction).
+	r := stats.NewRNG(17)
+	for trial := 0; trial < 40; trial++ {
+		p := theoremParams(r)
+		ub, err := p.PriorityUpperBound()
+		if err != nil {
+			continue
+		}
+		sol, err := exactFromTheorem(p).Solve(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Usage > ub*(1+1e-6) {
+			t.Fatalf("trial %d: exact %v exceeds upper bound %v", trial, sol.Usage, ub)
+		}
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	if _, err := (&ExactProblem{}).Solve(0, 0); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	bad := &ExactProblem{R: []float64{1}, A: [][]float64{{1}}, Slack: []float64{-1}}
+	if _, err := bad.Solve(0, 0); err != ErrExactInfeasible {
+		t.Fatalf("err = %v", err)
+	}
+	ragged := &ExactProblem{R: []float64{1, 2}, A: [][]float64{{1}}, Slack: []float64{1}}
+	if _, err := ragged.Solve(0, 0); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	empty := &ExactProblem{R: []float64{1}, A: [][]float64{{0}}, Slack: []float64{1}}
+	if _, err := empty.Solve(0, 0); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}

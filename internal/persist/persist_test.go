@@ -1,0 +1,141 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"erms/internal/apps"
+	"erms/internal/multiplex"
+	"erms/internal/profiling"
+	"erms/internal/scaling"
+)
+
+func TestAppRoundTrip(t *testing.T) {
+	for _, app := range []*apps.App{apps.HotelReservation(), apps.SocialNetwork(), apps.MediaService()} {
+		var buf bytes.Buffer
+		if err := SaveApp(&buf, app); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		loaded, err := LoadApp(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if loaded.Name != app.Name {
+			t.Fatalf("name %q != %q", loaded.Name, app.Name)
+		}
+		if len(loaded.Microservices()) != len(app.Microservices()) {
+			t.Fatalf("%s: microservices %d != %d", app.Name, len(loaded.Microservices()), len(app.Microservices()))
+		}
+		if len(loaded.Shared()) != len(app.Shared()) {
+			t.Fatalf("%s: shared %v != %v", app.Name, loaded.Shared(), app.Shared())
+		}
+		// Graph structure preserved exactly: same node count and stages.
+		for i, g := range app.Graphs {
+			lg := loaded.Graphs[i]
+			if lg.Len() != g.Len() {
+				t.Fatalf("%s/%s: %d nodes != %d", app.Name, g.Service, lg.Len(), g.Len())
+			}
+			if len(lg.Root.Stages) != len(g.Root.Stages) {
+				t.Fatalf("%s/%s: root stages differ", app.Name, g.Service)
+			}
+		}
+	}
+}
+
+func TestSaveAppRejectsInvalid(t *testing.T) {
+	app := apps.HotelReservation()
+	delete(app.Profiles, "search")
+	var buf bytes.Buffer
+	if err := SaveApp(&buf, app); err == nil {
+		t.Fatal("invalid app saved")
+	}
+}
+
+func TestLoadAppErrors(t *testing.T) {
+	if _, err := LoadApp(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadApp(strings.NewReader(`{"name":"x","graphs":[{"service":"s","root":{}}]}`)); err == nil {
+		t.Fatal("rootless graph accepted")
+	}
+	// Valid JSON but fails app validation (no profile for the node).
+	doc := `{"name":"x","graphs":[{"service":"s","root":{"microservice":"a"}}],
+	 "profiles":{},"slas":{},"containers":{}}`
+	if _, err := LoadApp(strings.NewReader(doc)); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+}
+
+func TestPlanSaveAndSummary(t *testing.T) {
+	plan := &multiplex.Plan{
+		Scheme:     multiplex.SchemePriority,
+		Containers: map[string]int{"a": 2, "b": 3},
+		Ranks:      map[string]map[string]int{"a": {"svc1": 0}},
+		PerService: map[string]*scaling.Allocation{
+			"svc1": {Targets: map[string]float64{"a": 10, "b": 20}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"scheme": "priority"`, `"total_containers": 5`, `"svc1"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan JSON missing %q:\n%s", want, out)
+		}
+	}
+	sum := PlanSummary(plan)
+	if !strings.Contains(sum, "total=5") || !strings.Contains(sum, "a") {
+		t.Fatalf("summary = %q", sum)
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	// Fit a model, save, load, and verify identical predictions.
+	samples := make([]profiling.Sample, 0, 400)
+	for i := 0; i < 400; i++ {
+		w := float64(i%100) * 50
+		lvl := float64((i/100)%4) * 0.2
+		tail := 5 + 0.002*w*(1+lvl)
+		if w > 3000 {
+			tail += 0.01 * (w - 3000) * (1 + lvl)
+		}
+		samples = append(samples, profiling.Sample{
+			Workload: w, TailMs: tail, CPUUtil: lvl, MemUtil: lvl / 2,
+		})
+	}
+	m, err := profiling.Fit("ms", samples, profiling.FitConfig{MinBucket: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := profiling.SaveModels(map[string]profiling.Model{"ms": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := profiling.LoadModels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, ok := loaded["ms"]
+	if !ok {
+		t.Fatal("model missing after round trip")
+	}
+	for _, w := range []float64{100, 1500, 4000} {
+		for _, u := range []float64{0.1, 0.5} {
+			if got, want := lm.Predict(w, u, u/2), m.Predict(w, u, u/2); got != want {
+				t.Fatalf("prediction drift at (%v,%v): %v != %v", w, u, got, want)
+			}
+			if lm.Knee(u, u/2) != m.Knee(u, u/2) {
+				t.Fatal("knee drift")
+			}
+		}
+	}
+}
+
+func TestLoadModelsError(t *testing.T) {
+	if _, err := profiling.LoadModels([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

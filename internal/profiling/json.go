@@ -1,0 +1,68 @@
+package profiling
+
+import (
+	"encoding/json"
+
+	"erms/internal/mlearn"
+)
+
+// fittedJSON is the serialized form of a Fitted model — the artifact the
+// Offline Profiling module persists between runs (the paper's profiling
+// takes days; models must survive restarts).
+type fittedJSON struct {
+	Microservice string       `json:"microservice"`
+	Low          Interval     `json:"low"`
+	High         Interval     `json:"high"`
+	KneeTree     *mlearn.Tree `json:"knee_tree,omitempty"`
+	KneeDefault  float64      `json:"knee_default"`
+}
+
+// MarshalJSON serializes the fitted model, including the knee decision tree.
+func (f *Fitted) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fittedJSON{
+		Microservice: f.Microservice,
+		Low:          f.Low,
+		High:         f.High,
+		KneeTree:     f.kneeTree,
+		KneeDefault:  f.kneeDefault,
+	})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (f *Fitted) UnmarshalJSON(data []byte) error {
+	var j fittedJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	f.Microservice = j.Microservice
+	f.Low = j.Low
+	f.High = j.High
+	f.kneeTree = j.KneeTree
+	f.kneeDefault = j.KneeDefault
+	return nil
+}
+
+// SaveModels serializes a model set; only Fitted models are persistable
+// (analytic models are reconstructed from app profiles instead).
+func SaveModels(models map[string]Model) ([]byte, error) {
+	out := make(map[string]*Fitted, len(models))
+	for ms, m := range models {
+		if f, ok := m.(*Fitted); ok {
+			out[ms] = f
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// LoadModels restores a model set saved by SaveModels.
+func LoadModels(data []byte) (map[string]Model, error) {
+	var in map[string]*Fitted
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Model, len(in))
+	for ms, f := range in {
+		out[ms] = f
+	}
+	return out, nil
+}

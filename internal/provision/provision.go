@@ -1,0 +1,210 @@
+// Package provision implements Erms' interference-aware Resource
+// Provisioning module (§5.4): containers are placed (and released) so as to
+// minimize resource unbalance across hosts — the sum of squared deviations
+// between each host's utilization and the cluster-wide mean — because
+// unbalanced hosts create unbalanced container performance and SLA
+// violations. The exact problem is a non-linear integer program (NP-hard);
+// following the paper, hosts are statically divided into groups and each
+// placement only searches one group (the POP technique [31]), plus a greedy
+// local-search Rebalance for the background.
+package provision
+
+import (
+	"fmt"
+	"sort"
+
+	"erms/internal/cluster"
+	"erms/internal/kube"
+)
+
+// InterferenceAware is a kube.Scheduler that minimizes utilization
+// imbalance. The zero value uses a single group (full search).
+type InterferenceAware struct {
+	// Groups is the POP partition count; <= 1 disables partitioning.
+	Groups int
+
+	cursor int
+}
+
+var _ kube.Scheduler = (*InterferenceAware)(nil)
+
+// hostDeviation is one host's contribution to the imbalance objective,
+// evaluated against the current cluster means.
+func hostDeviation(h *cluster.Host, meanCPU, meanMem float64) float64 {
+	dc := h.CPUUtil() - meanCPU
+	dm := h.MemUtil() - meanMem
+	return dc*dc + dm*dm
+}
+
+// placementDelta estimates the imbalance change from adding spec to h,
+// holding the cluster means fixed (the means move by O(1/#hosts), which the
+// greedy search can ignore).
+func placementDelta(h *cluster.Host, spec cluster.ContainerSpec, meanCPU, meanMem float64) float64 {
+	before := hostDeviation(h, meanCPU, meanMem)
+	dc := h.CPUUtil() + spec.CPU/float64(h.Spec.Cores) - meanCPU
+	dm := h.MemUtil() + spec.MemMB/(h.Spec.MemGB*1024) - meanMem
+	return dc*dc + dm*dm - before
+}
+
+// group returns the hosts of the POP group with the given index. Membership
+// is a pseudo-random (but deterministic) hash of the host ID rather than a
+// round-robin stripe, so groups do not accidentally align with structured
+// background-load patterns in the cluster (POP [31] likewise partitions
+// randomly).
+func (s *InterferenceAware) group(cl *cluster.Cluster, idx int) []*cluster.Host {
+	hosts := cl.Hosts()
+	if s.Groups <= 1 || s.Groups >= len(hosts) {
+		return hosts
+	}
+	var out []*cluster.Host
+	for _, h := range hosts {
+		hash := uint64(h.ID+1) * 0x9e3779b97f4a7c15
+		if int(hash>>33)%s.Groups == idx {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Place picks the feasible host (within the next POP group, falling back to
+// the whole cluster) whose loading least increases the imbalance objective.
+func (s *InterferenceAware) Place(cl *cluster.Cluster, spec cluster.ContainerSpec) (int, error) {
+	meanCPU, meanMem := cl.MeanCPUUtil(), cl.MeanMemUtil()
+	try := func(hosts []*cluster.Host) (int, bool) {
+		best, bestDelta, found := -1, 0.0, false
+		for _, h := range hosts {
+			if !h.Fits(spec) {
+				continue
+			}
+			d := placementDelta(h, spec, meanCPU, meanMem)
+			if !found || d < bestDelta {
+				best, bestDelta, found = h.ID, d, true
+			}
+		}
+		return best, found
+	}
+	groups := 1
+	if s.Groups > 1 {
+		groups = s.Groups
+	}
+	for attempt := 0; attempt < groups; attempt++ {
+		idx := s.cursor % groups
+		s.cursor++
+		if id, ok := try(s.group(cl, idx)); ok {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("provision: no host fits container %s", spec.Microservice)
+}
+
+// Evict removes the container of the microservice whose departure most
+// reduces the imbalance objective (i.e. from the most over-utilized host).
+func (s *InterferenceAware) Evict(cl *cluster.Cluster, microservice string) (*cluster.Container, error) {
+	cs := cl.ContainersFor(microservice)
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("provision: no containers of %s", microservice)
+	}
+	meanCPU, meanMem := cl.MeanCPUUtil(), cl.MeanMemUtil()
+	sort.Slice(cs, func(i, j int) bool {
+		return hostDeviation(cs[i].Host, meanCPU, meanMem) > hostDeviation(cs[j].Host, meanCPU, meanMem)
+	})
+	// Prefer a host that is actually above the mean; otherwise the most
+	// deviant one still wins (removing from an under-utilized host can
+	// increase imbalance, but something must be evicted).
+	for _, c := range cs {
+		if c.Host.CPUUtil() >= meanCPU || c.Host.MemUtil() >= meanMem {
+			return c, nil
+		}
+	}
+	return cs[0], nil
+}
+
+// Rebalance greedily migrates containers from the most deviant hosts to the
+// hosts where they most reduce the imbalance objective, performing at most
+// maxMoves migrations. It returns the number of migrations made. This is the
+// scale-down/scale-out companion the Resource Provisioning module runs when
+// Online Scaling adjusts allocations (§5.4).
+func Rebalance(cl *cluster.Cluster, maxMoves int) int {
+	moves := 0
+	for moves < maxMoves {
+		meanCPU, meanMem := cl.MeanCPUUtil(), cl.MeanMemUtil()
+		// Most deviant over-utilized host.
+		var src *cluster.Host
+		var srcDev float64
+		for _, h := range cl.Hosts() {
+			if len(h.Containers()) == 0 {
+				continue
+			}
+			if h.CPUUtil() < meanCPU && h.MemUtil() < meanMem {
+				continue
+			}
+			if d := hostDeviation(h, meanCPU, meanMem); src == nil || d > srcDev {
+				src, srcDev = h, d
+			}
+		}
+		if src == nil {
+			return moves
+		}
+		before := cl.Imbalance()
+		// Try each container on src against each other host; take the best
+		// strictly-improving move.
+		var bestC *cluster.Container
+		bestHost := -1
+		bestImb := before
+		for _, c := range src.Containers() {
+			for _, dst := range cl.Hosts() {
+				if dst.ID == src.ID || !dst.Fits(c.Spec) {
+					continue
+				}
+				usage := c.CPUUsage()
+				if err := cl.Remove(c.ID); err != nil {
+					continue
+				}
+				moved, err := cl.Place(c.Spec, dst.ID)
+				if err == nil {
+					moved.SetCPUUsage(usage)
+					if imb := cl.Imbalance(); imb < bestImb-1e-12 {
+						bestImb = imb
+						bestC, bestHost = c, dst.ID
+					}
+					cl.Remove(moved.ID)
+				}
+				back, err := cl.Place(c.Spec, src.ID)
+				if err != nil {
+					// Should not happen (we just removed it); give up on
+					// this container.
+					continue
+				}
+				back.SetCPUUsage(usage)
+				c = back
+			}
+		}
+		if bestC == nil {
+			return moves
+		}
+		// Re-execute the best move for real. bestC may have been re-created
+		// above, so locate a container of the same spec on src.
+		var victim *cluster.Container
+		for _, c := range src.Containers() {
+			if c.Spec == bestC.Spec {
+				victim = c
+				break
+			}
+		}
+		if victim == nil {
+			return moves
+		}
+		usage := victim.CPUUsage()
+		cl.Remove(victim.ID)
+		if moved, err := cl.Place(victim.Spec, bestHost); err == nil {
+			moved.SetCPUUsage(usage)
+			moves++
+		} else {
+			if back, err2 := cl.Place(victim.Spec, src.ID); err2 == nil {
+				back.SetCPUUsage(usage)
+			}
+			return moves
+		}
+	}
+	return moves
+}

@@ -1,0 +1,184 @@
+package provision
+
+import (
+	"testing"
+
+	"erms/internal/cluster"
+	"erms/internal/kube"
+	"erms/internal/workload"
+)
+
+func hotColdCluster(hosts int) *cluster.Cluster {
+	cl := cluster.New(hosts, cluster.PaperHost)
+	// Even hosts are hot, odd hosts idle.
+	for i := 0; i < hosts; i += 2 {
+		cl.SetBackground(i, workload.Interference{CPU: 0.6, Mem: 0.5})
+	}
+	return cl
+}
+
+func TestPlaceAvoidsHotHosts(t *testing.T) {
+	cl := hotColdCluster(4)
+	s := &InterferenceAware{}
+	for i := 0; i < 8; i++ {
+		id, err := s.Place(cl, cluster.PaperContainer("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Place(cluster.PaperContainer("a"), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All containers land on the idle hosts.
+	if n := len(cl.Host(0).Containers()) + len(cl.Host(2).Containers()); n != 0 {
+		t.Fatalf("%d containers on hot hosts", n)
+	}
+}
+
+func TestPlaceReducesImbalanceVsSpread(t *testing.T) {
+	mk := func(sched kube.Scheduler) float64 {
+		cl := hotColdCluster(6)
+		o := kube.New(cl, sched)
+		if err := o.Apply(cluster.PaperContainer("a"), 30); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Imbalance()
+	}
+	aware := mk(&InterferenceAware{})
+	spread := mk(kube.Spread{})
+	if aware > spread {
+		t.Fatalf("interference-aware imbalance %v > spread %v", aware, spread)
+	}
+}
+
+func TestPlaceFailsWhenFull(t *testing.T) {
+	cl := cluster.New(1, cluster.HostSpec{Cores: 1, MemGB: 4})
+	s := &InterferenceAware{}
+	for i := 0; i < 10; i++ {
+		id, err := s.Place(cl, cluster.PaperContainer("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Place(cluster.PaperContainer("a"), id)
+	}
+	if _, err := s.Place(cl, cluster.PaperContainer("a")); err == nil {
+		t.Fatal("full cluster accepted placement")
+	}
+}
+
+func TestPOPGroupsStillPlace(t *testing.T) {
+	cl := hotColdCluster(8)
+	s := &InterferenceAware{Groups: 4}
+	placed := map[int]int{}
+	for i := 0; i < 16; i++ {
+		id, err := s.Place(cl, cluster.PaperContainer("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Place(cluster.PaperContainer("a"), id); err != nil {
+			t.Fatal(err)
+		}
+		placed[id]++
+	}
+	if len(placed) < 3 {
+		t.Fatalf("POP placement too concentrated: %v", placed)
+	}
+}
+
+func TestPOPFallsBackAcrossGroups(t *testing.T) {
+	// Group sizes of 1: a full group must not block placement.
+	cl := cluster.New(2, cluster.HostSpec{Cores: 1, MemGB: 4})
+	cl.SetBackground(0, workload.Interference{CPU: 0.99, Mem: 0.99})
+	s := &InterferenceAware{Groups: 2}
+	for i := 0; i < 5; i++ {
+		id, err := s.Place(cl, cluster.PaperContainer("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 1 {
+			t.Fatalf("placed on the full host")
+		}
+		cl.Place(cluster.PaperContainer("a"), id)
+	}
+}
+
+func TestEvictPrefersHotHost(t *testing.T) {
+	cl := hotColdCluster(2)
+	cl.Place(cluster.PaperContainer("a"), 0) // hot host
+	cl.Place(cluster.PaperContainer("a"), 1) // idle host
+	s := &InterferenceAware{}
+	victim, err := s.Evict(cl, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.Host.ID != 0 {
+		t.Fatalf("evicted from host %d, want hot host 0", victim.Host.ID)
+	}
+	if _, err := s.Evict(cl, "missing"); err == nil {
+		t.Fatal("missing microservice accepted")
+	}
+}
+
+func TestRebalanceReducesImbalance(t *testing.T) {
+	cl := cluster.New(4, cluster.PaperHost)
+	// Pile everything on host 0.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Place(cluster.PaperContainer("a"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cl.Imbalance()
+	moves := Rebalance(cl, 30)
+	after := cl.Imbalance()
+	if moves == 0 {
+		t.Fatal("rebalance made no moves")
+	}
+	if after >= before {
+		t.Fatalf("imbalance did not improve: %v -> %v", before, after)
+	}
+	// Container count is preserved.
+	if got := len(cl.Containers()); got != 20 {
+		t.Fatalf("containers = %d after rebalance", got)
+	}
+}
+
+func TestRebalanceRespectsMaxMoves(t *testing.T) {
+	cl := cluster.New(4, cluster.PaperHost)
+	for i := 0; i < 20; i++ {
+		cl.Place(cluster.PaperContainer("a"), 0)
+	}
+	if moves := Rebalance(cl, 3); moves > 3 {
+		t.Fatalf("moves = %d > max 3", moves)
+	}
+}
+
+func TestRebalanceNoOpWhenBalanced(t *testing.T) {
+	cl := cluster.New(4, cluster.PaperHost)
+	for i := 0; i < 8; i++ {
+		cl.Place(cluster.PaperContainer("a"), i%4)
+	}
+	if moves := Rebalance(cl, 10); moves != 0 {
+		t.Fatalf("balanced cluster still moved %d", moves)
+	}
+}
+
+func TestEndToEndWithOrchestrator(t *testing.T) {
+	// The provisioner works as the orchestrator's scheduler: scale up, then
+	// down, with interference-aware choices throughout.
+	cl := hotColdCluster(4)
+	o := kube.New(cl, &InterferenceAware{Groups: 2})
+	if err := o.Apply(cluster.PaperContainer("web"), 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Scale("web", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.CountFor("web"); got != 4 {
+		t.Fatalf("containers = %d", got)
+	}
+	// Remaining containers sit on the idle hosts.
+	hot := len(cl.Host(0).Containers()) + len(cl.Host(2).Containers())
+	if hot > 0 {
+		t.Fatalf("%d containers remain on hot hosts", hot)
+	}
+}

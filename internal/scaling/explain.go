@@ -1,0 +1,57 @@
+package scaling
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the Algorithm 1 merge tree and the resulting latency
+// targets for one service as human-readable text — the Fig. 7/8 walkthrough
+// for an arbitrary graph. It is intended for operators debugging why a
+// microservice received its target.
+func Explain(in Input) (string, error) {
+	if err := in.validate(); err != nil {
+		return "", err
+	}
+	alloc, err := Plan(in)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "service %s: SLA %.2fms (P%.0f), cluster util cpu=%.0f%% mem=%.0f%%\n",
+		in.Graph.Service, in.SLA.Threshold, in.SLA.Percentile*100, in.CPUUtil*100, in.MemUtil*100)
+	b.WriteString("merge tree (Algorithm 1; leaves are real microservices):\n")
+
+	// Rebuild the merge tree with the final interval choices so the printed
+	// parameters match the allocation exactly.
+	root := buildMergeTree(in, alloc.UsedHigh)
+	var render func(mn *mergeNode, depth int)
+	render = func(mn *mergeNode, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		switch mn.kind {
+		case kindLeaf:
+			iv := "low"
+			if alloc.UsedHigh[mn.ms] {
+				iv = "high"
+			}
+			fmt.Fprintf(&b, "%s%s  [A=%.4g b=%.4g R=%.4g interval=%s]\n", indent, mn.ms, mn.A, mn.B, mn.R, iv)
+		case kindSeq:
+			fmt.Fprintf(&b, "%sSEQ*  [A=%.4g b=%.4g R=%.4g]  (Eq. 7-9)\n", indent, mn.A, mn.B, mn.R)
+		case kindPar:
+			fmt.Fprintf(&b, "%sPAR** [A=%.4g b=%.4g R=%.4g]  (Eq. 11-12)\n", indent, mn.A, mn.B, mn.R)
+		}
+		for _, c := range mn.children {
+			render(c, depth+1)
+		}
+	}
+	render(root, 0)
+
+	b.WriteString("latency targets (Eq. 5 unwind):\n")
+	for _, ms := range SortedTargets(alloc) {
+		fmt.Fprintf(&b, "  %-28s target %8.3fms  containers %4d (raw %.2f)\n",
+			ms, alloc.Targets[ms], alloc.Containers[ms], alloc.ContainersRaw[ms])
+	}
+	fmt.Fprintf(&b, "total containers %d, resource usage %.6f\n", alloc.TotalContainers(), alloc.ResourceUsage)
+	return b.String(), nil
+}

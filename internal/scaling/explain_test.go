@@ -1,0 +1,51 @@
+package scaling
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRendersMergeTree(t *testing.T) {
+	in := fig7Input()
+	out, err := Explain(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"service svc", "SLA 100.00ms", "merge tree",
+		"SEQ*", "PAR**", "Eq. 7-9", "Eq. 11-12",
+		"T ", "Url", "U ", "C ",
+		"latency targets", "total containers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainChainHasNoParallelNodes(t *testing.T) {
+	in := chainInput(t, 3, 150)
+	out, err := Explain(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "PAR**") {
+		t.Fatalf("chain should have no parallel merges:\n%s", out)
+	}
+	if !strings.Contains(out, "SEQ*") {
+		t.Fatalf("chain should have sequential merges:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	in := fig7Input()
+	delete(in.Models, "C")
+	if _, err := Explain(in); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+	in2 := fig7Input()
+	in2.SLA.Threshold = 0.001 // infeasible
+	if _, err := Explain(in2); err == nil {
+		t.Fatal("infeasible input accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package sim is a discrete-event simulator of a microservice cluster. It
+// executes service requests against dependency graphs on a simulated
+// cluster: each container runs a fixed pool of worker threads, excess
+// requests queue, service times are inflated by host-level resource
+// interference, and parallel/sequential downstream calls compose exactly as
+// in the paper's Fig. 1.
+//
+// The simulator substitutes for the paper's Kubernetes + DeathStarBench
+// testbed. Crucially, it does not hard-code the paper's piece-wise linear
+// latency model; the knee and the interference-dependent slope emerge from
+// queueing at finite thread pools, and the profiler (internal/profiling)
+// has to rediscover the model from simulated traces.
+package sim
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // stable FIFO for simultaneous events
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+// Engine is a discrete-event clock with a pending-event heap. Time is in
+// milliseconds. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// NewEngine creates an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after the given delay (>= 0) in milliseconds.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the given absolute time; times in the past run "now".
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue empties or the clock passes until
+// (milliseconds). Events scheduled exactly at until are executed.
+func (e *Engine) Run(until float64) {
+	for e.events.Len() > 0 {
+		next := e.events.Peek()
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.time
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of queued events (for tests and diagnostics).
+func (e *Engine) Pending() int { return e.events.Len() }

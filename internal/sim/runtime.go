@@ -1,0 +1,619 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"erms/internal/cluster"
+	"erms/internal/graph"
+	"erms/internal/stats"
+	"erms/internal/workload"
+)
+
+// ServiceProfile describes the intrinsic cost of one microservice: the mean
+// uncontended processing time per request and its coefficient of variation.
+type ServiceProfile struct {
+	BaseMs float64 // mean service time in milliseconds on an idle host
+	CV     float64 // coefficient of variation of the service time
+}
+
+// CallRecord is one completed call between microservices, mirroring the two
+// Jaeger spans the paper's tracing stack records per call (§5.1): client
+// send/receive and server receive/send timestamps.
+type CallRecord struct {
+	TraceID            int64
+	Service            string
+	ParentMicroservice string // "" for the entering call from the client
+	Microservice       string
+	NodeID             int // position in the dependency graph
+	ParentNodeID       int // -1 for the root call
+	Stage              int // index of the stage within the parent's calls
+	ClientSend         float64
+	ServerRecv         float64
+	ServerSend         float64
+	ClientRecv         float64
+}
+
+// SpanObserver receives completed calls of sampled traces.
+type SpanObserver interface {
+	ObserveCall(CallRecord)
+}
+
+// Config configures one simulation run.
+type Config struct {
+	Seed uint64
+	// Cluster supplies hosts and the placed containers. Required.
+	Cluster *cluster.Cluster
+	// Interference maps host utilization to service-time inflation.
+	Interference cluster.InterferenceModel
+	// Profiles gives the intrinsic service time per microservice. Required
+	// for every microservice appearing in Graphs.
+	Profiles map[string]ServiceProfile
+	// Graphs holds one dependency graph per online service.
+	Graphs []*graph.Graph
+	// Patterns gives the offered load per service (requests/minute).
+	Patterns map[string]workload.Pattern
+	// SLAs optionally enables exact violation counting per service.
+	SLAs map[string]workload.SLA
+	// Priorities assigns, at each shared microservice, a priority rank per
+	// service (0 = highest). Microservices present here use Erms' δ-policy;
+	// all others are FCFS.
+	Priorities map[string]map[string]int
+	// Delta is the probabilistic priority parameter (§5.3.2); 0.05 in the
+	// paper.
+	Delta float64
+	// DurationMin is the simulated duration in minutes. Required.
+	DurationMin float64
+	// WarmupMin excludes the initial transient from statistics.
+	WarmupMin float64
+	// NetworkDelayMs is the one-way transmission latency per call.
+	NetworkDelayMs float64
+	// SampleRate is the trace sampling fraction (default 0.1 as in Jaeger's
+	// configuration, §5.1). Only sampled traces reach the Observer.
+	SampleRate float64
+	// Observer optionally receives spans of sampled traces.
+	Observer SpanObserver
+	// LatencySampleCap bounds per-minute per-microservice latency samples
+	// (reservoir); defaults to 4096.
+	LatencySampleCap int
+	// Routing selects how calls are balanced across a microservice's
+	// containers. The default round-robin matches typical service-mesh
+	// upstream behaviour; power-of-two-choices is adaptive (it hides slow
+	// containers by steering load away from them).
+	Routing Routing
+	// Failures injects container outages: each entry takes one container of
+	// the microservice down at AtMin and restores it at RecoverMin (0 = no
+	// recovery). Queued requests are re-routed to surviving containers;
+	// in-flight requests complete.
+	Failures []Failure
+	// ClosedUsers switches the listed services to a closed-loop client
+	// population (wrk-style): each virtual user cycles request → think →
+	// request, so the offered rate self-throttles under saturation instead
+	// of growing queues without bound. Services present here ignore their
+	// Patterns entry; achieved throughput ≈ users·60000/(think+response).
+	ClosedUsers map[string]int
+	// ThinkTimeMs is the mean exponential think time between a closed-loop
+	// user's requests. Default 1000.
+	ThinkTimeMs float64
+}
+
+// Failure describes one injected container outage.
+type Failure struct {
+	Microservice string
+	// Index selects which of the microservice's containers fails (by
+	// position in ID order).
+	Index int
+	// AtMin / RecoverMin are minutes since simulation start.
+	AtMin      float64
+	RecoverMin float64
+}
+
+// Routing is the load-balancing policy across a microservice's containers.
+type Routing int
+
+// Routing policies.
+const (
+	// RouteRoundRobin cycles through containers in order.
+	RouteRoundRobin Routing = iota
+	// RouteP2C samples two containers and picks the less loaded one.
+	RouteP2C
+)
+
+func (c *Config) validate() error {
+	if c.Cluster == nil {
+		return errors.New("sim: Config.Cluster is required")
+	}
+	if c.DurationMin <= 0 {
+		return errors.New("sim: Config.DurationMin must be positive")
+	}
+	if len(c.Graphs) == 0 {
+		return errors.New("sim: no dependency graphs")
+	}
+	for _, g := range c.Graphs {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+		if _, ok := c.Patterns[g.Service]; !ok {
+			if _, closed := c.ClosedUsers[g.Service]; !closed {
+				return fmt.Errorf("sim: no workload pattern for service %s", g.Service)
+			}
+		}
+		for _, ms := range g.Microservices() {
+			if _, ok := c.Profiles[ms]; !ok {
+				return fmt.Errorf("sim: no service profile for microservice %s", ms)
+			}
+			if len(c.Cluster.ContainersFor(ms)) == 0 {
+				return fmt.Errorf("sim: no containers deployed for microservice %s", ms)
+			}
+		}
+	}
+	return nil
+}
+
+// MinuteSample is the per-minute, per-microservice aggregate the profiling
+// pipeline consumes: exactly the tuple d = (L, γ, C, M) of §5.2.
+type MinuteSample struct {
+	Minute       int
+	Microservice string
+	// PerContainerCalls is γ: calls processed per container in this minute.
+	PerContainerCalls float64
+	// TailMs is the P95 of the microservice latency (queue + processing) of
+	// calls completed this minute.
+	TailMs float64
+	// MeanMs is the mean microservice latency this minute.
+	MeanMs float64
+	// CPUUtil / MemUtil are the average utilizations of hosts holding this
+	// microservice's containers, time-averaged over the minute.
+	CPUUtil float64
+	MemUtil float64
+	// Calls is the raw number of completed calls.
+	Calls int
+	// Containers is the number of deployed containers.
+	Containers int
+}
+
+// ServiceResult aggregates end-to-end request outcomes for one service.
+type ServiceResult struct {
+	Service    string
+	Count      int
+	Violations int // requests exceeding the SLA threshold (if an SLA was set)
+
+	lat *stats.Reservoir
+}
+
+// P95 returns the 95th-percentile end-to-end latency in milliseconds.
+func (s *ServiceResult) P95() float64 { return s.lat.Quantile(0.95) }
+
+// P99 returns the 99th-percentile end-to-end latency.
+func (s *ServiceResult) P99() float64 { return s.lat.Quantile(0.99) }
+
+// Quantile returns an arbitrary end-to-end latency quantile.
+func (s *ServiceResult) Quantile(q float64) float64 { return s.lat.Quantile(q) }
+
+// Mean returns the mean end-to-end latency.
+func (s *ServiceResult) Mean() float64 { return stats.Mean(s.lat.Values()) }
+
+// ViolationRate returns the fraction of requests above the SLA threshold.
+func (s *ServiceResult) ViolationRate() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Violations) / float64(s.Count)
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// PerService holds end-to-end latency statistics keyed by service.
+	PerService map[string]*ServiceResult
+	// Samples holds the per-minute profiling aggregates in time order.
+	Samples []MinuteSample
+	// ServiceMSCalls[svc][ms] is the observed call rate (calls per minute,
+	// averaged over the measured window) that service svc imposed on
+	// microservice ms — the γ_{k,i} of the multiplexing model (§5.3.2).
+	ServiceMSCalls map[string]map[string]float64
+	// SimulatedMin is the measured (post-warmup) duration in minutes.
+	SimulatedMin float64
+}
+
+// containerState is the runtime queueing state of one placed container.
+type containerState struct {
+	c      *cluster.Container
+	busy   int
+	queue  []*Job
+	policy Policy
+	// down marks an injected outage: the container accepts no new work.
+	down bool
+	// minuteCalls counts calls routed here in the current minute.
+	minuteCalls int
+}
+
+func (cs *containerState) inSystem() int { return cs.busy + len(cs.queue) }
+
+// Runtime executes one simulation.
+type Runtime struct {
+	cfg Config
+	eng *Engine
+	rng *stats.RNG
+
+	states map[int]*containerState
+	byMS   map[string][]*containerState
+
+	// per-minute accumulation
+	latByMS    map[string]*stats.Reservoir
+	svcMSCalls map[string]map[string]int
+	warmMs     float64
+	rrNext     map[string]int
+
+	nextTrace int64
+	result    *Result
+}
+
+// NewRuntime validates the configuration and prepares a runtime.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 0.1
+	}
+	if cfg.LatencySampleCap <= 0 {
+		cfg.LatencySampleCap = 4096
+	}
+	rt := &Runtime{
+		cfg:        cfg,
+		eng:        NewEngine(),
+		rng:        stats.NewRNG(cfg.Seed),
+		states:     make(map[int]*containerState),
+		byMS:       make(map[string][]*containerState),
+		latByMS:    make(map[string]*stats.Reservoir),
+		svcMSCalls: make(map[string]map[string]int),
+		warmMs:     cfg.WarmupMin * 60_000,
+		rrNext:     make(map[string]int),
+		result: &Result{
+			PerService:     make(map[string]*ServiceResult),
+			ServiceMSCalls: make(map[string]map[string]float64),
+		},
+	}
+	for _, c := range cfg.Cluster.Containers() {
+		var pol Policy = FCFS{}
+		if _, shared := cfg.Priorities[c.Spec.Microservice]; shared {
+			pol = PriorityPolicy{Delta: cfg.Delta}
+		}
+		cs := &containerState{c: c, policy: pol}
+		rt.states[c.ID] = cs
+		rt.byMS[c.Spec.Microservice] = append(rt.byMS[c.Spec.Microservice], cs)
+	}
+	for _, g := range cfg.Graphs {
+		rt.result.PerService[g.Service] = &ServiceResult{
+			Service: g.Service,
+			lat:     stats.NewReservoir(1<<15, rt.rng.Split()),
+		}
+		rt.svcMSCalls[g.Service] = make(map[string]int)
+	}
+	return rt, nil
+}
+
+// Run executes the simulation and returns aggregated results.
+func (rt *Runtime) Run() *Result {
+	endMs := rt.cfg.DurationMin * 60_000
+	warmMs := rt.cfg.WarmupMin * 60_000
+
+	// Schedule request arrivals per service: open-loop Poisson replay by
+	// default, or a closed-loop user population where configured.
+	for _, g := range rt.cfg.Graphs {
+		g := g
+		if users, ok := rt.cfg.ClosedUsers[g.Service]; ok {
+			rt.startClosedLoop(g, users, endMs, warmMs)
+			continue
+		}
+		arr := workload.Arrivals(rt.cfg.Patterns[g.Service], rt.rng.Split(), 0, rt.cfg.DurationMin)
+		for _, t := range arr {
+			t := t
+			rt.eng.At(t, func() { rt.startRequest(g, t >= warmMs) })
+		}
+	}
+
+	// Schedule injected container failures and recoveries.
+	for _, f := range rt.cfg.Failures {
+		states := rt.byMS[f.Microservice]
+		if f.Index < 0 || f.Index >= len(states) {
+			continue
+		}
+		cs := states[f.Index]
+		rt.eng.At(f.AtMin*60_000, func() { rt.failContainer(cs) })
+		if f.RecoverMin > f.AtMin {
+			rt.eng.At(f.RecoverMin*60_000, func() {
+				cs.down = false
+				rt.kick(cs)
+			})
+		}
+	}
+
+	// Minute ticks for profiling aggregation. Pre-warmup minutes are flushed
+	// (to reset the accumulators) but not recorded.
+	firstMinute := int(math.Ceil(rt.cfg.WarmupMin))
+	for m := 0; m < int(rt.cfg.DurationMin); m++ {
+		m := m
+		rt.eng.At(float64(m+1)*60_000, func() { rt.flushMinute(m, m >= firstMinute) })
+	}
+
+	// Run past the nominal end so in-flight requests complete.
+	rt.eng.Run(endMs + 10*60_000)
+
+	rt.result.SimulatedMin = rt.cfg.DurationMin - rt.cfg.WarmupMin
+	for svc, byMS := range rt.svcMSCalls {
+		rates := make(map[string]float64, len(byMS))
+		for ms, n := range byMS {
+			rates[ms] = float64(n) / rt.result.SimulatedMin
+		}
+		rt.result.ServiceMSCalls[svc] = rates
+	}
+	return rt.result
+}
+
+// startRequest begins one end-to-end request for the given service graph.
+func (rt *Runtime) startRequest(g *graph.Graph, measured bool) {
+	rt.startRequestWith(g, measured, nil)
+}
+
+// startRequestWith additionally invokes then() when the request completes
+// (used by the closed-loop client).
+func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) {
+	rt.nextTrace++
+	traceID := rt.nextTrace
+	sampled := rt.cfg.Observer != nil && rt.rng.Float64() < rt.cfg.SampleRate
+	t0 := rt.eng.Now()
+	svc := g.Service
+
+	rt.execNode(svc, traceID, sampled, g.Root, "", -1, 0, func() {
+		if measured {
+			res := rt.result.PerService[svc]
+			// onDone fires at the client-receive instant of the root call.
+			lat := rt.eng.Now() - t0
+			res.Count++
+			res.lat.Add(lat)
+			if sla, ok := rt.cfg.SLAs[svc]; ok && lat > sla.Threshold {
+				res.Violations++
+			}
+		}
+		if then != nil {
+			then()
+		}
+	})
+}
+
+// startClosedLoop spawns a closed-loop user population for one service: each
+// user issues a request, waits for the response, thinks for an exponential
+// time, and repeats until the nominal end of the run.
+func (rt *Runtime) startClosedLoop(g *graph.Graph, users int, endMs, warmMs float64) {
+	think := rt.cfg.ThinkTimeMs
+	if think <= 0 {
+		think = 1000
+	}
+	rng := rt.rng.Split()
+	var userLoop func()
+	userLoop = func() {
+		if rt.eng.Now() >= endMs {
+			return
+		}
+		rt.startRequestWith(g, rt.eng.Now() >= warmMs, func() {
+			rt.eng.Schedule(think*rng.ExpFloat64(), userLoop)
+		})
+	}
+	for u := 0; u < users; u++ {
+		// Staggered starts spread the initial burst over one think time.
+		rt.eng.At(rng.Float64()*think, userLoop)
+	}
+}
+
+// execNode runs one node: queue at a container of the node's microservice,
+// process, then execute downstream stages sequentially (parallel within a
+// stage), then signal completion.
+func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, onDone func()) {
+	clientSend := rt.eng.Now()
+	serverRecv := clientSend + rt.cfg.NetworkDelayMs
+	ms := n.Microservice
+
+	job := &Job{Service: svc, Enqueued: serverRecv}
+	if ranks, ok := rt.cfg.Priorities[ms]; ok {
+		job.Priority = ranks[svc]
+	}
+	job.onServed = func() {
+		// Own work done: record microservice latency (queue + processing).
+		latency := rt.eng.Now() - serverRecv
+		rt.recordNodeLatency(svc, ms, latency)
+
+		// Issue downstream stages.
+		var runStage func(k int)
+		runStage = func(k int) {
+			if k >= len(n.Stages) {
+				serverSend := rt.eng.Now()
+				clientRecv := serverSend + rt.cfg.NetworkDelayMs
+				if sampled {
+					rt.cfg.Observer.ObserveCall(CallRecord{
+						TraceID:            traceID,
+						Service:            svc,
+						ParentMicroservice: parentMS,
+						Microservice:       ms,
+						NodeID:             n.ID,
+						ParentNodeID:       parentID,
+						Stage:              stage,
+						ClientSend:         clientSend,
+						ServerRecv:         serverRecv,
+						ServerSend:         serverSend,
+						ClientRecv:         clientRecv,
+					})
+				}
+				// The caller resumes only once the response has crossed the
+				// network, at clientRecv.
+				rt.eng.At(clientRecv, onDone)
+				return
+			}
+			remaining := len(n.Stages[k])
+			for _, child := range n.Stages[k] {
+				rt.execNode(svc, traceID, sampled, child, ms, n.ID, k, func() {
+					remaining--
+					if remaining == 0 {
+						runStage(k + 1)
+					}
+				})
+			}
+		}
+		runStage(0)
+	}
+
+	rt.eng.At(serverRecv, func() { rt.enqueue(ms, job) })
+}
+
+// kick starts queued work on free threads (used after recovery).
+func (rt *Runtime) kick(cs *containerState) {
+	for len(cs.queue) > 0 && cs.busy < cs.c.Spec.Threads {
+		idx := cs.policy.Pick(cs.queue, rt.rng)
+		next := cs.queue[idx]
+		cs.queue = append(cs.queue[:idx], cs.queue[idx+1:]...)
+		rt.startJob(cs, next)
+	}
+}
+
+// failContainer marks a container down and re-routes its queued work.
+func (rt *Runtime) failContainer(cs *containerState) {
+	cs.down = true
+	queued := cs.queue
+	cs.queue = nil
+	for _, job := range queued {
+		rt.enqueue(cs.c.Spec.Microservice, job)
+	}
+}
+
+// enqueue routes the job to a container of the microservice per the
+// configured balancing policy and starts it if a thread is free.
+func (rt *Runtime) enqueue(ms string, job *Job) {
+	all := rt.byMS[ms]
+	states := all
+	// Skip downed containers when any replica survives; with none left the
+	// job queues at the first container and drains on recovery.
+	var up []*containerState
+	for _, s := range all {
+		if !s.down {
+			up = append(up, s)
+		}
+	}
+	if len(up) > 0 {
+		states = up
+	}
+	var cs *containerState
+	switch {
+	case len(states) == 1:
+		cs = states[0]
+	case rt.cfg.Routing == RouteP2C:
+		a := states[rt.rng.Intn(len(states))]
+		b := states[rt.rng.Intn(len(states))]
+		if a.inSystem() <= b.inSystem() {
+			cs = a
+		} else {
+			cs = b
+		}
+	default: // round-robin (modulo the currently routable set)
+		i := rt.rrNext[ms] % len(states)
+		rt.rrNext[ms] = i + 1
+		cs = states[i]
+	}
+	cs.minuteCalls++
+	if rt.eng.Now() >= rt.warmMs {
+		if m, ok := rt.svcMSCalls[job.Service]; ok {
+			m[ms]++
+		}
+	}
+	if !cs.down && cs.busy < cs.c.Spec.Threads {
+		rt.startJob(cs, job)
+		return
+	}
+	cs.queue = append(cs.queue, job)
+}
+
+// startJob begins processing a job on a free thread of cs.
+func (rt *Runtime) startJob(cs *containerState, job *Job) {
+	cs.busy++
+	rt.updateUsage(cs)
+
+	prof := rt.cfg.Profiles[cs.c.Spec.Microservice]
+	base := prof.BaseMs
+	if prof.CV > 0 {
+		base = stats.LogNormalFromMeanCV(prof.BaseMs, prof.CV).Sample(rt.rng)
+	}
+	inflation := rt.cfg.Interference.HostInflation(cs.c.Host)
+	s := base * inflation
+
+	rt.eng.Schedule(s, func() {
+		cs.busy--
+		rt.updateUsage(cs)
+		job.onServed()
+		if !cs.down && len(cs.queue) > 0 && cs.busy < cs.c.Spec.Threads {
+			idx := cs.policy.Pick(cs.queue, rt.rng)
+			next := cs.queue[idx]
+			cs.queue = append(cs.queue[:idx], cs.queue[idx+1:]...)
+			rt.startJob(cs, next)
+		}
+	})
+}
+
+// updateUsage reflects the container's instantaneous thread occupancy into
+// cluster CPU-usage accounting, which in turn feeds host utilization and the
+// interference inflation of later jobs (the dynamic feedback loop).
+func (rt *Runtime) updateUsage(cs *containerState) {
+	frac := float64(cs.busy) / float64(cs.c.Spec.Threads)
+	cs.c.SetCPUUsage(frac * cs.c.Spec.CPU)
+}
+
+// recordNodeLatency adds one microservice latency observation for the
+// current minute.
+func (rt *Runtime) recordNodeLatency(svc, ms string, latency float64) {
+	rv, ok := rt.latByMS[ms]
+	if !ok {
+		rv = stats.NewReservoir(rt.cfg.LatencySampleCap, rt.rng.Split())
+		rt.latByMS[ms] = rv
+	}
+	rv.Add(latency)
+	_ = svc
+}
+
+// flushMinute emits MinuteSamples for minute m (when record is true) and
+// resets the per-minute accumulators either way.
+func (rt *Runtime) flushMinute(m int, record bool) {
+	mss := make([]string, 0, len(rt.byMS))
+	for ms := range rt.byMS {
+		mss = append(mss, ms)
+	}
+	sort.Strings(mss)
+	for _, ms := range mss {
+		states := rt.byMS[ms]
+		calls := 0
+		var cpu, mem float64
+		for _, cs := range states {
+			calls += cs.minuteCalls
+			cs.minuteCalls = 0
+			cpu += cs.c.Host.CPUUtil()
+			mem += cs.c.Host.MemUtil()
+		}
+		n := float64(len(states))
+		sample := MinuteSample{
+			Minute:            m,
+			Microservice:      ms,
+			PerContainerCalls: float64(calls) / n,
+			CPUUtil:           cpu / n,
+			MemUtil:           mem / n,
+			Calls:             calls,
+			Containers:        len(states),
+		}
+		if rv, ok := rt.latByMS[ms]; ok && rv.Seen() > 0 {
+			sample.TailMs = rv.Quantile(0.95)
+			sample.MeanMs = stats.Mean(rv.Values())
+			delete(rt.latByMS, ms)
+		}
+		if record {
+			rt.result.Samples = append(rt.result.Samples, sample)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleMean(d Dist, n int, seed uint64) float64 {
+	r := NewRNG(seed)
+	var m Moments
+	for i := 0; i < n; i++ {
+		m.Add(d.Sample(r))
+	}
+	return m.Mean()
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanVal: 3.5}
+	got := sampleMean(d, 200000, 1)
+	if math.Abs(got-3.5)/3.5 > 0.02 {
+		t.Fatalf("exponential sample mean %v, want ~3.5", got)
+	}
+	if d.Mean() != 3.5 {
+		t.Fatalf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 2.25}
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 2.25 {
+			t.Fatal("deterministic sample varied")
+		}
+	}
+}
+
+func TestLogNormalFromMeanCV(t *testing.T) {
+	for _, tc := range []struct{ mean, cv float64 }{
+		{1, 0.5}, {10, 1.0}, {0.2, 0.25},
+	} {
+		d := LogNormalFromMeanCV(tc.mean, tc.cv)
+		if math.Abs(d.Mean()-tc.mean)/tc.mean > 1e-9 {
+			t.Fatalf("analytic mean %v, want %v", d.Mean(), tc.mean)
+		}
+		got := sampleMean(d, 400000, 7)
+		if math.Abs(got-tc.mean)/tc.mean > 0.03 {
+			t.Fatalf("sample mean %v, want ~%v (cv %v)", got, tc.mean, tc.cv)
+		}
+	}
+}
+
+func TestLogNormalFromMeanCVPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive mean")
+		}
+	}()
+	LogNormalFromMeanCV(0, 1)
+}
+
+func TestParetoMeanAndSupport(t *testing.T) {
+	d := Pareto{Xm: 2, Alpha: 3}
+	want := 3.0 * 2 / 2 // alpha*xm/(alpha-1)
+	if math.Abs(d.Mean()-want) > 1e-12 {
+		t.Fatalf("Pareto mean %v want %v", d.Mean(), want)
+	}
+	r := NewRNG(5)
+	var m Moments
+	for i := 0; i < 300000; i++ {
+		v := d.Sample(r)
+		if v < d.Xm {
+			t.Fatalf("Pareto sample %v below xm", v)
+		}
+		m.Add(v)
+	}
+	if math.Abs(m.Mean()-want)/want > 0.05 {
+		t.Fatalf("Pareto sample mean %v want ~%v", m.Mean(), want)
+	}
+	if inf := (Pareto{Xm: 1, Alpha: 1}).Mean(); !math.IsInf(inf, 1) {
+		t.Fatalf("alpha<=1 mean should be +Inf, got %v", inf)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform{Lo: -1, Hi: 3}
+	r := NewRNG(9)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(r)
+		if v < -1 || v >= 3 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+		m.Add(v)
+	}
+	if math.Abs(m.Mean()-1) > 0.03 {
+		t.Fatalf("uniform mean %v want ~1", m.Mean())
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	r := NewRNG(11)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(float64(Poisson(r, 4.2)))
+	}
+	if math.Abs(m.Mean()-4.2) > 0.1 {
+		t.Fatalf("Poisson(4.2) mean %v", m.Mean())
+	}
+	// Poisson variance equals the mean.
+	if math.Abs(m.Variance()-4.2) > 0.2 {
+		t.Fatalf("Poisson(4.2) variance %v", m.Variance())
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	r := NewRNG(13)
+	var m Moments
+	for i := 0; i < 50000; i++ {
+		n := Poisson(r, 1000)
+		if n < 0 {
+			t.Fatal("negative Poisson count")
+		}
+		m.Add(float64(n))
+	}
+	if math.Abs(m.Mean()-1000)/1000 > 0.01 {
+		t.Fatalf("Poisson(1000) mean %v", m.Mean())
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := NewRNG(17)
+	if Poisson(r, 0) != 0 || Poisson(r, -5) != 0 {
+		t.Fatal("Poisson with non-positive mean should be 0")
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	for _, d := range []Dist{
+		Exponential{1}, Deterministic{2}, LogNormal{0, 1}, Pareto{1, 2}, Uniform{0, 1},
+	} {
+		if d.String() == "" {
+			t.Fatalf("%T has empty String()", d)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	// Must not be stuck at zero.
+	var any uint64
+	for i := 0; i < 10; i++ {
+		any |= r.Uint64()
+	}
+	if any == 0 {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64MeanApproxHalf(t *testing.T) {
+	r := NewRNG(9)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Float64())
+	}
+	if math.Abs(m.Mean()-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", m.Mean())
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(21)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap: %d/100", same)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(31)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if math.Abs(m.Mean()) > 0.02 {
+		t.Fatalf("normal mean = %v", m.Mean())
+	}
+	if math.Abs(m.StdDev()-1) > 0.02 {
+		t.Fatalf("normal stddev = %v", m.StdDev())
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(33)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		m.Add(v)
+	}
+	if math.Abs(m.Mean()-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", m.Mean())
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(35)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}

@@ -1,0 +1,300 @@
+// Package tcqos models the Linux traffic-control machinery Erms uses to
+// enforce priority scheduling in each container's network layer (§5.5): the
+// pfifo_fast queuing discipline, a configurable prio qdisc with filters
+// that map flow marks to bands, and the δ-probabilistic band selection Erms
+// layers on top so low-priority services are not starved (§5.3.2).
+//
+// In the real system Erms binds a virtual network interface to each
+// container and attaches these qdiscs to its ingress; here the same
+// disciplines drive the simulated containers' request queues, so the
+// enforcement path is exercised end to end.
+package tcqos
+
+import (
+	"errors"
+
+	"erms/internal/stats"
+)
+
+// Item is one queued unit (a request or packet) carrying a flow mark and an
+// optional traffic-class hint in [0, 15] (the Linux TOS→priority range).
+type Item struct {
+	FlowMark uint32
+	TOS      int
+	Payload  any
+}
+
+// Qdisc is a queuing discipline: enqueue may drop (returning false) and
+// dequeue returns items in discipline order.
+type Qdisc interface {
+	Enqueue(Item) bool
+	Dequeue() (Item, bool)
+	Len() int
+}
+
+// FIFO is a bounded first-in-first-out queue. Limit <= 0 means unbounded.
+type FIFO struct {
+	limit int
+	items []Item
+}
+
+// NewFIFO creates a FIFO with the given capacity (<= 0 for unbounded).
+func NewFIFO(limit int) *FIFO { return &FIFO{limit: limit} }
+
+// Enqueue appends the item; it returns false (tail drop) when full.
+func (q *FIFO) Enqueue(it Item) bool {
+	if q.limit > 0 && len(q.items) >= q.limit {
+		return false
+	}
+	q.items = append(q.items, it)
+	return true
+}
+
+// Dequeue removes the oldest item.
+func (q *FIFO) Dequeue() (Item, bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (q *FIFO) Len() int { return len(q.items) }
+
+// DefaultPriomap is Linux's pfifo_fast priority→band map (man tc-pfifo_fast):
+// TOS priorities 0-15 mapped onto bands 0 (highest) to 2 (lowest).
+var DefaultPriomap = [16]int{1, 2, 2, 2, 1, 2, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1}
+
+// PfifoFast is the Linux default qdisc: three strict-priority bands with a
+// shared packet limit, band chosen by the item's TOS via the priomap.
+type PfifoFast struct {
+	bands   [3]*FIFO
+	priomap [16]int
+	limit   int
+	queued  int
+}
+
+// NewPfifoFast creates a pfifo_fast qdisc with the Linux default priomap
+// and the given total packet limit (<= 0 for unbounded).
+func NewPfifoFast(limit int) *PfifoFast {
+	q := &PfifoFast{priomap: DefaultPriomap, limit: limit}
+	for i := range q.bands {
+		q.bands[i] = NewFIFO(0)
+	}
+	return q
+}
+
+// SetPriomap overrides the priority→band map; bands must be in [0, 2].
+func (q *PfifoFast) SetPriomap(m [16]int) error {
+	for _, b := range m {
+		if b < 0 || b > 2 {
+			return errors.New("tcqos: priomap band out of range")
+		}
+	}
+	q.priomap = m
+	return nil
+}
+
+// Enqueue places the item in the band selected by its TOS.
+func (q *PfifoFast) Enqueue(it Item) bool {
+	if q.limit > 0 && q.queued >= q.limit {
+		return false
+	}
+	tos := it.TOS
+	if tos < 0 || tos > 15 {
+		tos = 0
+	}
+	q.bands[q.priomap[tos]].Enqueue(it)
+	q.queued++
+	return true
+}
+
+// Dequeue serves bands in strict priority order: band 0 first.
+func (q *PfifoFast) Dequeue() (Item, bool) {
+	for _, b := range q.bands {
+		if it, ok := b.Dequeue(); ok {
+			q.queued--
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// Len returns the total queued items.
+func (q *PfifoFast) Len() int { return q.queued }
+
+// BandLen returns the occupancy of one band.
+func (q *PfifoFast) BandLen(band int) int { return q.bands[band].Len() }
+
+// Filter maps an item to a band index; Erms installs one filter per flow
+// mark (per service) on each shared microservice's interface.
+type Filter func(Item) int
+
+// MarkFilter builds a filter from a flow-mark→band table, with a default
+// band for unknown marks.
+func MarkFilter(bands map[uint32]int, def int) Filter {
+	return func(it Item) int {
+		if b, ok := bands[it.FlowMark]; ok {
+			return b
+		}
+		return def
+	}
+}
+
+// Prio is a configurable-band strict-priority qdisc with a classifier
+// filter (tc's `prio` qdisc with `handle ... fw` filters).
+type Prio struct {
+	bands    []*FIFO
+	classify Filter
+	queued   int
+	limit    int
+}
+
+// NewPrio creates a prio qdisc with n bands and the given classifier.
+func NewPrio(n int, classify Filter, limit int) (*Prio, error) {
+	if n < 1 {
+		return nil, errors.New("tcqos: prio needs at least one band")
+	}
+	if classify == nil {
+		return nil, errors.New("tcqos: prio needs a classifier")
+	}
+	q := &Prio{classify: classify, limit: limit}
+	for i := 0; i < n; i++ {
+		q.bands = append(q.bands, NewFIFO(0))
+	}
+	return q, nil
+}
+
+// Enqueue classifies the item into its band (clamped to the band range).
+func (q *Prio) Enqueue(it Item) bool {
+	if q.limit > 0 && q.queued >= q.limit {
+		return false
+	}
+	b := q.classify(it)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(q.bands) {
+		b = len(q.bands) - 1
+	}
+	q.bands[b].Enqueue(it)
+	q.queued++
+	return true
+}
+
+// Dequeue serves strictly by band order.
+func (q *Prio) Dequeue() (Item, bool) {
+	for _, b := range q.bands {
+		if it, ok := b.Dequeue(); ok {
+			q.queued--
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// Len returns the total queued items.
+func (q *Prio) Len() int { return q.queued }
+
+// DeltaPrio wraps a band set with Erms' probabilistic priority dequeue
+// (§5.3.2): among non-empty bands ordered best-first, band k is served with
+// probability δ^k·(1−δ), the last one with the residual — δ=0 degenerates
+// to strict priority. This is the discipline the real system realizes with
+// tc plus per-flow marks.
+type DeltaPrio struct {
+	prio  *Prio
+	delta float64
+	rng   *stats.RNG
+}
+
+// NewDeltaPrio builds the probabilistic-priority qdisc.
+func NewDeltaPrio(bands int, classify Filter, delta float64, seed uint64) (*DeltaPrio, error) {
+	if delta < 0 || delta >= 1 {
+		return nil, errors.New("tcqos: delta must be in [0, 1)")
+	}
+	p, err := NewPrio(bands, classify, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaPrio{prio: p, delta: delta, rng: stats.NewRNG(seed)}, nil
+}
+
+// Enqueue delegates to the underlying prio bands.
+func (q *DeltaPrio) Enqueue(it Item) bool { return q.prio.Enqueue(it) }
+
+// Len returns the total queued items.
+func (q *DeltaPrio) Len() int { return q.prio.queued }
+
+// Dequeue samples the band geometrically among the non-empty bands.
+func (q *DeltaPrio) Dequeue() (Item, bool) {
+	var nonEmpty []*FIFO
+	for _, b := range q.prio.bands {
+		if b.Len() > 0 {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return Item{}, false
+	}
+	idx := len(nonEmpty) - 1
+	u := q.rng.Float64()
+	acc := 0.0
+	for k := 0; k < len(nonEmpty)-1; k++ {
+		p := (1 - q.delta) * pow(q.delta, k)
+		acc += p
+		if u < acc {
+			idx = k
+			break
+		}
+	}
+	it, ok := nonEmpty[idx].Dequeue()
+	if ok {
+		q.prio.queued--
+	}
+	return it, ok
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}
+
+// ServiceMarks assigns stable flow marks to services and produces the
+// mark→band table from Erms' priority ranks, mirroring how the deployment
+// module installs tc filters on a shared microservice's virtual interface.
+type ServiceMarks struct {
+	marks map[string]uint32
+	next  uint32
+}
+
+// NewServiceMarks creates an empty mark registry.
+func NewServiceMarks() *ServiceMarks {
+	return &ServiceMarks{marks: make(map[string]uint32), next: 1}
+}
+
+// Mark returns the (stable) flow mark of a service, assigning one on first
+// use.
+func (sm *ServiceMarks) Mark(service string) uint32 {
+	if m, ok := sm.marks[service]; ok {
+		return m
+	}
+	m := sm.next
+	sm.next++
+	sm.marks[service] = m
+	return m
+}
+
+// BandTable converts per-service priority ranks into a flow-mark→band map
+// for MarkFilter.
+func (sm *ServiceMarks) BandTable(ranks map[string]int) map[uint32]int {
+	out := make(map[uint32]int, len(ranks))
+	for svc, rank := range ranks {
+		out[sm.Mark(svc)] = rank
+	}
+	return out
+}

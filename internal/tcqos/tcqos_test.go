@@ -1,0 +1,231 @@
+package tcqos
+
+import (
+	"math"
+	"testing"
+
+	"erms/internal/sim"
+	"erms/internal/stats"
+)
+
+func TestFIFOOrderAndLimit(t *testing.T) {
+	q := NewFIFO(2)
+	if !q.Enqueue(Item{FlowMark: 1}) || !q.Enqueue(Item{FlowMark: 2}) {
+		t.Fatal("enqueue failed")
+	}
+	if q.Enqueue(Item{FlowMark: 3}) {
+		t.Fatal("over-limit enqueue accepted")
+	}
+	it, ok := q.Dequeue()
+	if !ok || it.FlowMark != 1 {
+		t.Fatalf("dequeue = %+v", it)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	q.Dequeue()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+}
+
+func TestFIFOUnbounded(t *testing.T) {
+	q := NewFIFO(0)
+	for i := 0; i < 1000; i++ {
+		if !q.Enqueue(Item{}) {
+			t.Fatal("unbounded queue dropped")
+		}
+	}
+}
+
+func TestPfifoFastStrictBands(t *testing.T) {
+	q := NewPfifoFast(0)
+	// TOS 2 -> band 2 (lowest), TOS 6 -> band 0 (highest), TOS 0 -> band 1.
+	q.Enqueue(Item{FlowMark: 30, TOS: 2})
+	q.Enqueue(Item{FlowMark: 10, TOS: 6})
+	q.Enqueue(Item{FlowMark: 20, TOS: 0})
+	var order []uint32
+	for {
+		it, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, it.FlowMark)
+	}
+	if len(order) != 3 || order[0] != 10 || order[1] != 20 || order[2] != 30 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPfifoFastLimitAndBandLen(t *testing.T) {
+	q := NewPfifoFast(2)
+	q.Enqueue(Item{TOS: 6})
+	q.Enqueue(Item{TOS: 6})
+	if q.Enqueue(Item{TOS: 6}) {
+		t.Fatal("limit ignored")
+	}
+	if q.BandLen(0) != 2 || q.Len() != 2 {
+		t.Fatalf("band0=%d len=%d", q.BandLen(0), q.Len())
+	}
+	// Out-of-range TOS defaults to 0.
+	q2 := NewPfifoFast(0)
+	q2.Enqueue(Item{TOS: 99})
+	if q2.BandLen(DefaultPriomap[0]) != 1 {
+		t.Fatal("bad TOS not defaulted")
+	}
+}
+
+func TestPfifoFastSetPriomap(t *testing.T) {
+	q := NewPfifoFast(0)
+	var m [16]int
+	m[5] = 2
+	if err := q.SetPriomap(m); err != nil {
+		t.Fatal(err)
+	}
+	var bad [16]int
+	bad[0] = 7
+	if err := q.SetPriomap(bad); err == nil {
+		t.Fatal("invalid priomap accepted")
+	}
+}
+
+func TestPrioWithMarkFilter(t *testing.T) {
+	filter := MarkFilter(map[uint32]int{100: 0, 200: 1}, 1)
+	q, err := NewPrio(2, filter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(Item{FlowMark: 200})
+	q.Enqueue(Item{FlowMark: 999}) // default band 1
+	q.Enqueue(Item{FlowMark: 100})
+	it, _ := q.Dequeue()
+	if it.FlowMark != 100 {
+		t.Fatalf("first out = %v, want mark 100 (band 0)", it.FlowMark)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestPrioValidation(t *testing.T) {
+	if _, err := NewPrio(0, func(Item) int { return 0 }, 0); err == nil {
+		t.Fatal("zero bands accepted")
+	}
+	if _, err := NewPrio(2, nil, 0); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+	// Band clamping.
+	q, _ := NewPrio(2, func(Item) int { return 99 }, 0)
+	q.Enqueue(Item{FlowMark: 1})
+	if it, ok := q.Dequeue(); !ok || it.FlowMark != 1 {
+		t.Fatal("clamped band lost the item")
+	}
+	q2, _ := NewPrio(2, func(Item) int { return -5 }, 0)
+	q2.Enqueue(Item{FlowMark: 2})
+	if it, ok := q2.Dequeue(); !ok || it.FlowMark != 2 {
+		t.Fatal("negative band lost the item")
+	}
+}
+
+func TestDeltaPrioDistribution(t *testing.T) {
+	filter := MarkFilter(map[uint32]int{1: 0, 2: 1}, 1)
+	q, err := NewDeltaPrio(2, filter, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	hi := 0
+	for i := 0; i < n; i++ {
+		q.Enqueue(Item{FlowMark: 1})
+		q.Enqueue(Item{FlowMark: 2})
+		it, ok := q.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		if it.FlowMark == 1 {
+			hi++
+		}
+		// Drain the remainder to reset.
+		q.Dequeue()
+	}
+	frac := float64(hi) / n
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Fatalf("high-priority share = %v, want ~0.8", frac)
+	}
+}
+
+func TestDeltaPrioStrictWhenZero(t *testing.T) {
+	filter := MarkFilter(map[uint32]int{1: 0, 2: 1}, 1)
+	q, _ := NewDeltaPrio(2, filter, 0, 1)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(Item{FlowMark: 2})
+		q.Enqueue(Item{FlowMark: 1})
+		it, _ := q.Dequeue()
+		if it.FlowMark != 1 {
+			t.Fatal("strict priority violated at delta 0")
+		}
+		q.Dequeue()
+	}
+	if _, err := NewDeltaPrio(2, filter, 1.0, 1); err == nil {
+		t.Fatal("delta 1 accepted")
+	}
+}
+
+func TestDeltaPrioEmpty(t *testing.T) {
+	q, _ := NewDeltaPrio(2, MarkFilter(nil, 0), 0.05, 1)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+	if q.Len() != 0 {
+		t.Fatal("len != 0")
+	}
+}
+
+func TestServiceMarksStable(t *testing.T) {
+	sm := NewServiceMarks()
+	a := sm.Mark("svc-a")
+	b := sm.Mark("svc-b")
+	if a == b {
+		t.Fatal("marks collide")
+	}
+	if sm.Mark("svc-a") != a {
+		t.Fatal("marks not stable")
+	}
+	table := sm.BandTable(map[string]int{"svc-a": 0, "svc-b": 1})
+	if table[a] != 0 || table[b] != 1 {
+		t.Fatalf("band table = %v", table)
+	}
+}
+
+// TestDeltaPrioMatchesSimPolicy verifies that the tc-based enforcement and
+// the simulator's scheduling policy implement the same discipline: for the
+// same two-class workload and δ, the high-priority service probability
+// matches sim.PriorityPolicy.
+func TestDeltaPrioMatchesSimPolicy(t *testing.T) {
+	const delta = 0.1
+	r := stats.NewRNG(5)
+	pol := sim.PriorityPolicy{Delta: delta}
+	queue := []*sim.Job{{Priority: 1}, {Priority: 0}}
+	simHi := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if queue[pol.Pick(queue, r)].Priority == 0 {
+			simHi++
+		}
+	}
+	filter := MarkFilter(map[uint32]int{1: 0, 2: 1}, 1)
+	q, _ := NewDeltaPrio(2, filter, delta, 9)
+	tcHi := 0
+	for i := 0; i < n; i++ {
+		q.Enqueue(Item{FlowMark: 2})
+		q.Enqueue(Item{FlowMark: 1})
+		it, _ := q.Dequeue()
+		if it.FlowMark == 1 {
+			tcHi++
+		}
+		q.Dequeue()
+	}
+	if diff := math.Abs(float64(simHi)-float64(tcHi)) / n; diff > 0.01 {
+		t.Fatalf("sim policy %.3f vs tc qdisc %.3f", float64(simHi)/n, float64(tcHi)/n)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"erms/internal/stats"
+)
+
+// MinuteAggregate is the per-minute, per-microservice tuple (L, γ) the
+// Offline Profiling module consumes (§5.2), derived purely from collected
+// spans: latency via Eq. 1 and workload from sampled call counts scaled by
+// the inverse sampling rate. Host utilizations are joined from the metrics
+// store by the caller (they are OS-level metrics, not trace content).
+type MinuteAggregate struct {
+	Minute       int
+	Microservice string
+	// PerContainerCalls is the estimated γ: calls per container per minute.
+	PerContainerCalls float64
+	// TailMs is the P95 of the Eq. 1 microservice latency in that minute.
+	TailMs float64
+	// Calls is the raw (unsampled-estimate) call count for the minute.
+	Calls int
+}
+
+// MinuteAggregates buckets every collected call by minute and microservice.
+// containersOf reports how many containers each microservice ran during the
+// observation (used to convert total call rate into per-container γ); a nil
+// function assumes one container.
+func (c *Coordinator) MinuteAggregates(containersOf func(ms string) int) []MinuteAggregate {
+	if containersOf == nil {
+		containersOf = func(string) int { return 1 }
+	}
+	type key struct {
+		minute int
+		ms     string
+	}
+	lats := make(map[key][]float64)
+	for _, s := range c.MicroserviceLatencies("") {
+		k := key{minute: int(s.At / 60_000), ms: s.Microservice}
+		lats[k] = append(lats[k], s.LatencyMs)
+	}
+	out := make([]MinuteAggregate, 0, len(lats))
+	for k, ls := range lats {
+		n := containersOf(k.ms)
+		if n < 1 {
+			n = 1
+		}
+		calls := float64(len(ls)) / c.SampleRate
+		agg := MinuteAggregate{
+			Minute:            k.minute,
+			Microservice:      k.ms,
+			PerContainerCalls: calls / float64(n),
+			TailMs:            stats.P95(ls),
+			Calls:             int(math.Round(calls)),
+		}
+		out = append(out, agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Minute != out[j].Minute {
+			return out[i].Minute < out[j].Minute
+		}
+		return out[i].Microservice < out[j].Microservice
+	})
+	return out
+}

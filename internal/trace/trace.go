@@ -1,0 +1,327 @@
+// Package trace implements the Tracing Coordinator of Erms (§5.1): the
+// Jaeger-equivalent span store plus the logic that reconstructs dependency
+// graphs from spans and derives per-microservice latency via Eq. 1.
+//
+// The simulator emits one CallRecord per call of each sampled trace; the
+// coordinator turns these into client/server span pairs, rebuilds the call
+// tree, classifies sibling calls as parallel or sequential by client-span
+// overlap, and computes microservice latency by subtracting downstream
+// response times from the local response time.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"erms/internal/graph"
+	"erms/internal/sim"
+)
+
+// SpanKind distinguishes the two spans recorded per call.
+type SpanKind int
+
+// Span kinds, mirroring Jaeger's client/server span pair per call (§5.1).
+const (
+	Client SpanKind = iota
+	Server
+)
+
+// Span is one Jaeger-style span.
+type Span struct {
+	TraceID      int64
+	Kind         SpanKind
+	Service      string
+	Microservice string
+	NodeID       int
+	ParentNodeID int
+	Start        float64
+	End          float64
+}
+
+// Duration returns the span length in milliseconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Trace is one assembled request trace.
+type Trace struct {
+	ID      int64
+	Service string
+	Calls   []sim.CallRecord // ordered by ServerRecv
+}
+
+// Coordinator collects sampled call records and answers the queries the rest
+// of Erms needs: dependency graphs, microservice latencies, end-to-end
+// latencies. It is safe for concurrent ingestion.
+type Coordinator struct {
+	// SampleRate is the tracing sample fraction; workload estimates are
+	// scaled by its inverse.
+	SampleRate float64
+	// MaxTraces bounds retention: once exceeded, the oldest traces are
+	// evicted (Jaeger similarly bounds its store). Default 200000; <= 0
+	// keeps everything.
+	MaxTraces int
+
+	mu      sync.Mutex
+	byTrace map[int64][]sim.CallRecord
+	svcOf   map[int64]string
+	order   []int64 // trace IDs in first-seen order, for eviction
+	evicted int
+}
+
+// NewCoordinator creates a coordinator expecting the given sampling rate
+// (0 < rate <= 1).
+func NewCoordinator(sampleRate float64) *Coordinator {
+	if sampleRate <= 0 || sampleRate > 1 {
+		panic("trace: sample rate must be in (0, 1]")
+	}
+	return &Coordinator{
+		SampleRate: sampleRate,
+		MaxTraces:  200_000,
+		byTrace:    make(map[int64][]sim.CallRecord),
+		svcOf:      make(map[int64]string),
+	}
+}
+
+// ObserveCall ingests one completed call; it implements sim.SpanObserver.
+func (c *Coordinator) ObserveCall(r sim.CallRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, seen := c.byTrace[r.TraceID]; !seen {
+		c.order = append(c.order, r.TraceID)
+		if c.MaxTraces > 0 && len(c.byTrace) >= c.MaxTraces {
+			// Evict the oldest retained trace.
+			for len(c.order) > 0 {
+				oldest := c.order[0]
+				c.order = c.order[1:]
+				if _, ok := c.byTrace[oldest]; ok {
+					delete(c.byTrace, oldest)
+					delete(c.svcOf, oldest)
+					c.evicted++
+					break
+				}
+			}
+		}
+	}
+	c.byTrace[r.TraceID] = append(c.byTrace[r.TraceID], r)
+	c.svcOf[r.TraceID] = r.Service
+}
+
+// Evicted reports how many traces have been dropped by retention.
+func (c *Coordinator) Evicted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// NumTraces returns the number of distinct traces collected.
+func (c *Coordinator) NumTraces() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byTrace)
+}
+
+// Traces returns assembled traces, optionally filtered by service ("" for
+// all), ordered by trace ID.
+func (c *Coordinator) Traces(service string) []Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Trace
+	for id, calls := range c.byTrace {
+		if service != "" && c.svcOf[id] != service {
+			continue
+		}
+		sorted := make([]sim.CallRecord, len(calls))
+		copy(sorted, calls)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ServerRecv < sorted[j].ServerRecv })
+		out = append(out, Trace{ID: id, Service: c.svcOf[id], Calls: sorted})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Spans expands a trace into its Jaeger-style client/server span pairs.
+func Spans(t Trace) []Span {
+	out := make([]Span, 0, 2*len(t.Calls))
+	for _, r := range t.Calls {
+		out = append(out,
+			Span{TraceID: r.TraceID, Kind: Client, Service: r.Service,
+				Microservice: r.ParentMicroservice, NodeID: r.NodeID, ParentNodeID: r.ParentNodeID,
+				Start: r.ClientSend, End: r.ClientRecv},
+			Span{TraceID: r.TraceID, Kind: Server, Service: r.Service,
+				Microservice: r.Microservice, NodeID: r.NodeID, ParentNodeID: r.ParentNodeID,
+				Start: r.ServerRecv, End: r.ServerSend},
+		)
+	}
+	return out
+}
+
+// groupStages partitions one node's child calls into execution stages using
+// the overlap rule of §5.1: a call whose client span overlaps the span of an
+// already-grouped call is parallel with it; otherwise it starts a new
+// sequential stage. Children must be sorted by ClientSend.
+func groupStages(children []sim.CallRecord) [][]sim.CallRecord {
+	var stages [][]sim.CallRecord
+	var stageEnd float64
+	for _, ch := range children {
+		if len(stages) == 0 || ch.ClientSend >= stageEnd {
+			stages = append(stages, []sim.CallRecord{ch})
+			stageEnd = ch.ClientRecv
+			continue
+		}
+		last := len(stages) - 1
+		stages[last] = append(stages[last], ch)
+		if ch.ClientRecv > stageEnd {
+			stageEnd = ch.ClientRecv
+		}
+	}
+	return stages
+}
+
+// childrenOf returns t's calls whose parent is the given node, sorted by
+// client send time.
+func childrenOf(t Trace, nodeID int) []sim.CallRecord {
+	var out []sim.CallRecord
+	for _, r := range t.Calls {
+		if r.ParentNodeID == nodeID {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ClientSend < out[j].ClientSend })
+	return out
+}
+
+// rootOf returns the entering call of a trace.
+func rootOf(t Trace) (sim.CallRecord, error) {
+	for _, r := range t.Calls {
+		if r.ParentNodeID == -1 {
+			return r, nil
+		}
+	}
+	return sim.CallRecord{}, fmt.Errorf("trace %d has no root call", t.ID)
+}
+
+// ExtractGraph reconstructs the dependency graph of a service from all of
+// its collected traces: each trace yields one call-tree variant (with
+// parallel/sequential classification from span overlap), and variants are
+// merged into the complete graph (§5.1, §7).
+func (c *Coordinator) ExtractGraph(service string) (*graph.Graph, error) {
+	traces := c.Traces(service)
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: no traces for service %s", service)
+	}
+	var variants []*graph.Graph
+	for _, t := range traces {
+		g, err := graphFromTrace(t)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, g)
+	}
+	return graph.Merge(service, variants...)
+}
+
+func graphFromTrace(t Trace) (*graph.Graph, error) {
+	root, err := rootOf(t)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(t.Service, root.Microservice)
+	var build func(dst *graph.Node, nodeID int)
+	build = func(dst *graph.Node, nodeID int) {
+		for _, stage := range groupStages(childrenOf(t, nodeID)) {
+			names := make([]string, len(stage))
+			for i, r := range stage {
+				names[i] = r.Microservice
+			}
+			created := g.AddStage(dst, names...)
+			for i, r := range stage {
+				build(created[i], r.NodeID)
+			}
+		}
+	}
+	build(g.Root, root.NodeID)
+	return g, nil
+}
+
+// LatencySample is one derived microservice latency observation.
+type LatencySample struct {
+	Service      string
+	Microservice string
+	// At is the server-receive timestamp in milliseconds.
+	At float64
+	// LatencyMs is the Eq. 1 microservice latency: local response time minus
+	// downstream response times (per-stage maxima for parallel calls).
+	LatencyMs float64
+}
+
+// MicroserviceLatencies derives per-call microservice latencies for every
+// node of every collected trace of the given service ("" for all services),
+// implementing Eq. 1 and its sequential/parallel generalizations.
+func (c *Coordinator) MicroserviceLatencies(service string) []LatencySample {
+	var out []LatencySample
+	for _, t := range c.Traces(service) {
+		for _, r := range t.Calls {
+			own := r.ServerSend - r.ServerRecv
+			for _, stage := range groupStages(childrenOf(t, r.NodeID)) {
+				var maxResp float64
+				for _, ch := range stage {
+					if d := ch.ClientRecv - ch.ClientSend; d > maxResp {
+						maxResp = d
+					}
+				}
+				own -= maxResp
+			}
+			out = append(out, LatencySample{
+				Service:      t.Service,
+				Microservice: r.Microservice,
+				At:           r.ServerRecv,
+				LatencyMs:    own,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// EndToEnd returns the end-to-end latencies (root client span durations) of
+// all sampled requests of a service.
+func (c *Coordinator) EndToEnd(service string) []float64 {
+	var out []float64
+	for _, t := range c.Traces(service) {
+		if root, err := rootOf(t); err == nil {
+			out = append(out, root.ClientRecv-root.ClientSend)
+		}
+	}
+	return out
+}
+
+// WorkloadEstimate estimates the total request rate (requests/minute) seen
+// at each microservice of a service over the observation window, scaling the
+// sampled call counts by the inverse sampling rate.
+func (c *Coordinator) WorkloadEstimate(service string, windowMin float64) (map[string]float64, error) {
+	if windowMin <= 0 {
+		return nil, errors.New("trace: non-positive window")
+	}
+	counts := make(map[string]int)
+	for _, t := range c.Traces(service) {
+		for _, r := range t.Calls {
+			counts[r.Microservice]++
+		}
+	}
+	out := make(map[string]float64, len(counts))
+	for ms, n := range counts {
+		out[ms] = float64(n) / c.SampleRate / windowMin
+	}
+	return out, nil
+}
+
+// Reset discards all collected traces.
+func (c *Coordinator) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byTrace = make(map[int64][]sim.CallRecord)
+	c.svcOf = make(map[int64]string)
+	c.order = nil
+	c.evicted = 0
+}

@@ -1,0 +1,258 @@
+// Package workload generates the request streams and background interference
+// that drive the simulated cluster: static Poisson workloads, Alibaba-style
+// diurnal dynamic workloads, replayed traces, and iBench-style interference
+// injection. It also defines SLA specifications for online services.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"erms/internal/stats"
+)
+
+// SLA is the service-level agreement for one online service: the tail
+// percentile of end-to-end latency must stay below Threshold.
+type SLA struct {
+	Service string
+	// Threshold is the end-to-end latency bound in milliseconds.
+	Threshold float64
+	// Percentile is the tail percentile the bound applies to (e.g. 0.95).
+	Percentile float64
+}
+
+// Validate checks the SLA for well-formedness.
+func (s SLA) Validate() error {
+	if s.Service == "" {
+		return errors.New("workload: SLA with empty service")
+	}
+	if s.Threshold <= 0 {
+		return fmt.Errorf("workload: SLA threshold %v must be positive", s.Threshold)
+	}
+	if s.Percentile <= 0 || s.Percentile >= 1 {
+		return fmt.Errorf("workload: SLA percentile %v must be in (0,1)", s.Percentile)
+	}
+	return nil
+}
+
+// P95SLA builds the common 95th-percentile SLA used throughout the paper.
+func P95SLA(service string, thresholdMs float64) SLA {
+	return SLA{Service: service, Threshold: thresholdMs, Percentile: 0.95}
+}
+
+// Pattern yields the offered load of one service as a function of time.
+type Pattern interface {
+	// RateAt returns the arrival rate in requests per minute at time t
+	// (minutes since the start of the experiment).
+	RateAt(t float64) float64
+	// String describes the pattern.
+	String() string
+}
+
+// Static is a constant-rate pattern.
+type Static struct {
+	// Rate is in requests per minute.
+	Rate float64
+}
+
+// RateAt returns the constant rate.
+func (s Static) RateAt(float64) float64 { return s.Rate }
+
+func (s Static) String() string { return fmt.Sprintf("Static(%g req/min)", s.Rate) }
+
+// Diurnal is a day-night pattern: a sinusoid between Base and Peak with the
+// given period, plus optional short-lived spikes. This is the synthetic
+// substitute for Alibaba's dynamic production workloads (§6.3.2).
+type Diurnal struct {
+	Base      float64 // trough rate, req/min
+	Peak      float64 // crest rate, req/min
+	PeriodMin float64 // length of one cycle in minutes (1440 = one day)
+	PhaseMin  float64 // phase shift in minutes
+	// Spikes lists transient surges layered on top of the sinusoid.
+	Spikes []Spike
+}
+
+// Spike is a short surge: between Start and Start+Duration the rate is
+// multiplied by Factor.
+type Spike struct {
+	Start    float64
+	Duration float64
+	Factor   float64
+}
+
+// RateAt evaluates the diurnal curve.
+func (d Diurnal) RateAt(t float64) float64 {
+	period := d.PeriodMin
+	if period <= 0 {
+		period = 1440
+	}
+	mid := (d.Base + d.Peak) / 2
+	amp := (d.Peak - d.Base) / 2
+	rate := mid + amp*math.Sin(2*math.Pi*(t+d.PhaseMin)/period)
+	for _, s := range d.Spikes {
+		if t >= s.Start && t < s.Start+s.Duration {
+			rate *= s.Factor
+		}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+func (d Diurnal) String() string {
+	return fmt.Sprintf("Diurnal(base=%g, peak=%g, period=%gmin, %d spikes)", d.Base, d.Peak, d.PeriodMin, len(d.Spikes))
+}
+
+// Trace replays a recorded rate series with piece-wise-linear interpolation;
+// each sample covers StepMin minutes.
+type Trace struct {
+	Rates   []float64
+	StepMin float64
+	Name    string
+}
+
+// RateAt interpolates the trace; times beyond the trace hold the last value.
+func (tr Trace) RateAt(t float64) float64 {
+	if len(tr.Rates) == 0 {
+		return 0
+	}
+	step := tr.StepMin
+	if step <= 0 {
+		step = 1
+	}
+	pos := t / step
+	if pos <= 0 {
+		return tr.Rates[0]
+	}
+	lo := int(pos)
+	if lo >= len(tr.Rates)-1 {
+		return tr.Rates[len(tr.Rates)-1]
+	}
+	frac := pos - float64(lo)
+	return tr.Rates[lo]*(1-frac) + tr.Rates[lo+1]*frac
+}
+
+func (tr Trace) String() string {
+	return fmt.Sprintf("Trace(%q, %d samples, step=%gmin)", tr.Name, len(tr.Rates), tr.StepMin)
+}
+
+// AlibabaLikeTrace synthesizes a dynamic workload trace with the shape of the
+// Alibaba production workloads used in §6.3.2: a diurnal swell, minute-level
+// jitter, and a few sharp surges. The result is deterministic for a given
+// seed.
+func AlibabaLikeTrace(seed uint64, minutes int, base, peak float64) Trace {
+	r := stats.NewRNG(seed)
+	rates := make([]float64, minutes)
+	d := Diurnal{Base: base, Peak: peak, PeriodMin: float64(minutes)}
+	// Place 2-4 surges at random positions.
+	nSpikes := 2 + r.Intn(3)
+	for i := 0; i < nSpikes; i++ {
+		d.Spikes = append(d.Spikes, Spike{
+			Start:    r.Float64() * float64(minutes) * 0.9,
+			Duration: 3 + r.Float64()*8,
+			Factor:   1.3 + r.Float64()*0.7,
+		})
+	}
+	for m := 0; m < minutes; m++ {
+		jitter := 1 + 0.08*r.NormFloat64()
+		if jitter < 0.5 {
+			jitter = 0.5
+		}
+		rates[m] = d.RateAt(float64(m)) * jitter
+	}
+	return Trace{Rates: rates, StepMin: 1, Name: fmt.Sprintf("alibaba-like-%d", seed)}
+}
+
+// Arrivals generates Poisson arrival timestamps (in milliseconds since the
+// epoch of the window) for a pattern over [startMin, endMin) minutes. The
+// rate is sampled per minute, matching how the tracing stack aggregates
+// workloads.
+func Arrivals(p Pattern, r *stats.RNG, startMin, endMin float64) []float64 {
+	var out []float64
+	for m := math.Floor(startMin); m < endMin; m++ {
+		lo := math.Max(m, startMin)
+		hi := math.Min(m+1, endMin)
+		if hi <= lo {
+			continue
+		}
+		rate := p.RateAt(m) * (hi - lo) // expected arrivals in this slice
+		n := stats.Poisson(r, rate)
+		for i := 0; i < n; i++ {
+			tMin := lo + r.Float64()*(hi-lo)
+			out = append(out, tMin*60_000) // ms
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Interference is a background load level on a host, expressed as CPU and
+// memory utilization fractions contributed by colocated batch jobs. It is
+// the synthetic stand-in for iBench workload injection (§6.2, §6.4.3).
+type Interference struct {
+	CPU float64 // fraction of host CPU consumed by background work
+	Mem float64 // fraction of host memory consumed by background work
+}
+
+// Clamp bounds both utilizations to [0, max].
+func (i Interference) Clamp(max float64) Interference {
+	c := i
+	if c.CPU < 0 {
+		c.CPU = 0
+	}
+	if c.Mem < 0 {
+		c.Mem = 0
+	}
+	if c.CPU > max {
+		c.CPU = max
+	}
+	if c.Mem > max {
+		c.Mem = max
+	}
+	return c
+}
+
+// InterferenceLevels are the canonical profiling levels, spanning the host
+// conditions of Fig. 3 (e.g. 47% CPU / 35% mem, 27% CPU / 62% mem).
+var InterferenceLevels = []Interference{
+	{CPU: 0.10, Mem: 0.10},
+	{CPU: 0.27, Mem: 0.30},
+	{CPU: 0.47, Mem: 0.35},
+	{CPU: 0.27, Mem: 0.62},
+	{CPU: 0.62, Mem: 0.50},
+	{CPU: 0.75, Mem: 0.70},
+}
+
+// Injector produces a deterministic per-host interference schedule: each host
+// holds a level for HoldMin minutes, then switches, mimicking the hourly
+// iBench injection used for profiling data collection.
+type Injector struct {
+	Levels  []Interference
+	HoldMin float64
+	seed    uint64
+}
+
+// NewInjector builds an injector over the given levels (defaults to
+// InterferenceLevels when nil).
+func NewInjector(seed uint64, holdMin float64, levels []Interference) *Injector {
+	if len(levels) == 0 {
+		levels = InterferenceLevels
+	}
+	if holdMin <= 0 {
+		holdMin = 60
+	}
+	return &Injector{Levels: levels, HoldMin: holdMin, seed: seed}
+}
+
+// At returns the interference on the given host at time t (minutes). The
+// schedule is a deterministic hash of (host, epoch), so repeated queries
+// agree and different hosts see different sequences.
+func (inj *Injector) At(host int, tMin float64) Interference {
+	epoch := uint64(tMin / inj.HoldMin)
+	h := inj.seed ^ (uint64(host+1) * 0x9e3779b97f4a7c15) ^ (epoch * 0xb5026f5aa96619e9)
+	r := stats.NewRNG(h)
+	return inj.Levels[r.Intn(len(inj.Levels))]
+}

@@ -1,0 +1,23 @@
+package erms
+
+import (
+	"io"
+
+	"erms/internal/persist"
+)
+
+// SaveApp writes an application topology (graphs, profiles, SLAs, container
+// specs) as indented JSON, so custom applications can be authored and
+// shared as data files.
+func SaveApp(w io.Writer, app *App) error { return persist.SaveApp(w, app) }
+
+// LoadApp reads an application saved by SaveApp (or hand-authored in the
+// same format) and validates it.
+func LoadApp(r io.Reader) (*App, error) { return persist.LoadApp(r) }
+
+// SavePlan writes a scaling plan (containers, latency targets, priority
+// ranks) as indented JSON for audit and replay.
+func SavePlan(w io.Writer, plan *Plan) error { return persist.SavePlan(w, plan) }
+
+// PlanSummary renders a deterministic human-readable plan summary.
+func PlanSummary(plan *Plan) string { return persist.PlanSummary(plan) }
