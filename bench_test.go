@@ -8,7 +8,7 @@
 package erms
 
 import (
-	"fmt"
+	"bytes"
 	"os"
 	"sync"
 	"testing"
@@ -19,6 +19,26 @@ import (
 var printedMu sync.Mutex
 var printed = map[string]bool{}
 
+// printTablesOnce renders the tables for one experiment ID to a buffer and
+// writes them to stdout in a single call, at most once per ID across the
+// whole benchmark run. Buffering matters: the testing package interleaves
+// its own b.N rerun lines on stdout, and a table printed piecemeal ends up
+// shuffled into them.
+func printTablesOnce(id string, tables []*experiments.Table) {
+	printedMu.Lock()
+	defer printedMu.Unlock()
+	if printed[id] {
+		return
+	}
+	printed[id] = true
+	var buf bytes.Buffer
+	buf.WriteByte('\n')
+	for _, t := range tables {
+		t.Fprint(&buf)
+	}
+	os.Stdout.Write(buf.Bytes())
+}
+
 // runExperiment executes one experiment driver in quick mode, printing its
 // tables on the first run.
 func runExperiment(b *testing.B, id string) {
@@ -28,15 +48,7 @@ func runExperiment(b *testing.B, id string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		printedMu.Lock()
-		if !printed[id] {
-			printed[id] = true
-			fmt.Fprintln(os.Stdout)
-			for _, t := range tables {
-				t.Fprint(os.Stdout)
-			}
-		}
-		printedMu.Unlock()
+		printTablesOnce(id, tables)
 	}
 }
 
@@ -162,6 +174,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Evaluate(plan, rates, 1, 0, uint64(i)+1); err != nil {

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"erms"
+	"erms/internal/parallel"
 	"erms/internal/persist"
 )
 
@@ -40,8 +41,10 @@ func main() {
 		savePlan = flag.String("save-plan", "", "write the computed plan as JSON to this file")
 		saveApp  = flag.String("save-app", "", "write the application topology as JSON to this file and exit")
 		loadApp  = flag.String("load-app", "", "load the application from a JSON file (overrides -app)")
+		workers  = flag.Int("parallel", 0, "worker-pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	var app *erms.App
 	switch *appName {
@@ -167,13 +170,22 @@ func main() {
 			mss = append(mss, ms)
 		}
 		sort.Strings(mss)
+		var perSvc []string
+		for svc := range plan.PerService {
+			perSvc = append(perSvc, svc)
+		}
+		sort.Strings(perSvc)
 		fmt.Printf("%-28s %10s %14s\n", "microservice", "containers", "target(ms)")
 		for _, ms := range mss {
+			// A shared microservice has one target per service; show the
+			// tightest (it's what the deployment must honor). Sorted
+			// iteration keeps ties deterministic.
 			target := ""
-			for _, alloc := range plan.PerService {
-				if t, ok := alloc.Targets[ms]; ok {
+			best := 0.0
+			for _, svc := range perSvc {
+				if t, ok := plan.PerService[svc].Targets[ms]; ok && (target == "" || t < best) {
+					best = t
 					target = fmt.Sprintf("%.2f", t)
-					break
 				}
 			}
 			fmt.Printf("%-28s %10d %14s\n", ms, plan.Containers[ms], target)

@@ -16,17 +16,20 @@ import (
 	"time"
 
 	"erms/internal/experiments"
+	"erms/internal/parallel"
 )
 
 func main() {
 	var (
-		figs   = flag.String("fig", "", "comma-separated experiment IDs (e.g. fig2,fig11)")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "reduced sweeps and simulation time")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		format = flag.String("format", "text", "output format: text, markdown, csv")
+		figs    = flag.String("fig", "", "comma-separated experiment IDs (e.g. fig2,fig11)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced sweeps and simulation time")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		format  = flag.String("format", "text", "output format: text, markdown, csv")
+		workers = flag.Int("parallel", 0, "worker-pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"erms/internal/graph"
+	"erms/internal/parallel"
 	"erms/internal/profiling"
 	"erms/internal/scaling"
 	"erms/internal/workload"
@@ -111,7 +113,14 @@ func finalize(in Input, name string, targets map[string]float64) *scaling.Alloca
 		Containers:    make(map[string]int),
 		UsedHigh:      make(map[string]bool),
 	}
-	for ms, t := range targets {
+	// Sorted iteration keeps the usage float sum bit-stable run to run.
+	mss := make([]string, 0, len(targets))
+	for ms := range targets {
+		mss = append(mss, ms)
+	}
+	sort.Strings(mss)
+	for _, ms := range mss {
+		t := targets[ms]
 		m := in.Models[ms]
 		raw := sizeForTarget(m, in.Workloads[ms], t, in.CPUUtil, in.MemUtil)
 		alloc.ContainersRaw[ms] = raw
@@ -286,7 +295,13 @@ func (f Firm) Plan(in Input) (*scaling.Allocation, error) {
 		Containers:    containers,
 		UsedHigh:      make(map[string]bool),
 	}
-	for ms, n := range containers {
+	mss := make([]string, 0, len(containers))
+	for ms := range containers {
+		mss = append(mss, ms)
+	}
+	sort.Strings(mss)
+	for _, ms := range mss {
+		n := containers[ms]
 		per := in.Workloads[ms] / float64(n)
 		alloc.Targets[ms] = in.Models[ms].Predict(per, in.CPUUtil, in.MemUtil)
 		alloc.ContainersRaw[ms] = float64(n)
@@ -312,16 +327,33 @@ func PlanServices(scaler Autoscaler, inputs map[string]Input, loads map[string]m
 	for _, ms := range shared {
 		sharedSet[ms] = true
 	}
-	for svc, in := range inputs {
+	// Services size independently under a baseline autoscaler, so they fan
+	// out like Erms' per-service decomposition; the merge folds allocations
+	// back in sorted service order.
+	svcs := make([]string, 0, len(inputs))
+	for svc := range inputs {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	allocs, err := parallel.Map(len(svcs), func(i int) (*scaling.Allocation, error) {
+		svc := svcs[i]
+		in := inputs[svc]
 		l, ok := fcfs[svc]
 		if !ok {
-			return nil, nil, fmt.Errorf("baselines: no loads for %s", svc)
+			return nil, fmt.Errorf("baselines: no loads for %s", svc)
 		}
 		in.Workloads = l
 		alloc, err := scaler.Plan(in)
 		if err != nil {
-			return nil, nil, fmt.Errorf("baselines: %s/%s: %w", scaler.Name(), svc, err)
+			return nil, fmt.Errorf("baselines: %s/%s: %w", scaler.Name(), svc, err)
 		}
+		return alloc, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, svc := range svcs {
+		alloc := allocs[i]
 		perService[svc] = alloc
 		for ms, n := range alloc.Containers {
 			if sharedSet[ms] {

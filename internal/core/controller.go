@@ -15,6 +15,7 @@ import (
 	"erms/internal/kube"
 	"erms/internal/metrics"
 	"erms/internal/multiplex"
+	"erms/internal/parallel"
 	"erms/internal/profiling"
 	"erms/internal/scaling"
 	"erms/internal/sim"
@@ -325,75 +326,106 @@ func (c *Controller) ProfileOffline(cfg OfflineConfig) ([]string, error) {
 		cfg.ContainersPerMS = 2
 	}
 	cl := c.Orch.Cluster()
-	samples := make(map[string][]profiling.Sample)
-	seed := cfg.Seed
+
+	// The (level × rate) sweep points are independent: each one deploys a
+	// fixed profiling placement and runs the simulator with its own seed.
+	// They fan out across the worker pool; each run gets a private clone of
+	// the cluster geometry (hosts + backgrounds + placement — container IDs
+	// restart per clone, but the simulator only depends on placement order)
+	// and, under FromTraces, a private Tracing Coordinator. Seeds are
+	// assigned by flat sweep index, matching the seed++ of a sequential
+	// sweep, and results merge in sweep order, so the fitted models are
+	// identical at any worker count.
+	type sweepPoint struct {
+		lvl  workload.Interference
+		rate float64
+	}
+	points := make([]sweepPoint, 0, len(cfg.Levels)*len(cfg.Rates))
 	for _, lvl := range cfg.Levels {
-		for _, h := range cl.Hosts() {
-			if err := cl.SetBackground(h.ID, lvl); err != nil {
-				return nil, err
-			}
-		}
 		for _, rate := range cfg.Rates {
-			cl.Reset()
-			for _, ms := range c.App.Microservices() {
-				spec := c.App.Containers[ms]
-				for k := 0; k < cfg.ContainersPerMS; k++ {
-					hostID := (len(cl.Containers()) + k) % cl.NumHosts()
-					if _, err := cl.Place(spec, hostID); err != nil {
-						return nil, fmt.Errorf("core: profiling placement: %w", err)
-					}
-				}
-			}
-			patterns := make(map[string]workload.Pattern)
-			for _, g := range c.App.Graphs {
-				patterns[g.Service] = workload.Static{Rate: rate}
-			}
-			simCfg := sim.Config{
-				Seed:         seed,
-				Cluster:      cl,
-				Interference: c.Interference,
-				Profiles:     c.App.Profiles,
-				Graphs:       c.App.Graphs,
-				Patterns:     patterns,
-				DurationMin:  cfg.WindowMin + 0.5,
-				WarmupMin:    0.5,
-			}
-			if cfg.FromTraces {
-				c.Coordinator.Reset()
-				simCfg.Observer = c.Coordinator
-				simCfg.SampleRate = c.Coordinator.SampleRate
-			}
-			rt, err := sim.NewRuntime(simCfg)
-			if err != nil {
-				return nil, err
-			}
-			res := rt.Run()
-			if cfg.FromTraces {
-				// The production path: Eq. 1 latencies and inverse-sampling
-				// workload estimates from the Tracing Coordinator, joined
-				// with the injected interference level (the OS metrics).
-				aggs := c.Coordinator.MinuteAggregates(func(string) int { return cfg.ContainersPerMS })
-				for _, a := range aggs {
-					// Minute 0 overlaps the warmup transient; drop it.
-					if a.Minute == 0 || a.Calls == 0 || a.TailMs <= 0 {
-						continue
-					}
-					samples[a.Microservice] = append(samples[a.Microservice], profiling.Sample{
-						Workload: a.PerContainerCalls,
-						TailMs:   a.TailMs,
-						CPUUtil:  lvl.CPU,
-						MemUtil:  lvl.Mem,
-					})
-				}
-			} else {
-				for ms, ss := range profiling.FromMinuteSamples(res.Samples) {
-					samples[ms] = append(samples[ms], ss...)
-				}
-			}
-			seed++
+			points = append(points, sweepPoint{lvl, rate})
 		}
 	}
-	// Clear the injected background before normal operation resumes.
+	perRun, err := parallel.Map(len(points), func(i int) (map[string][]profiling.Sample, error) {
+		lvl, rate := points[i].lvl, points[i].rate
+		run := cluster.New(cl.NumHosts(), cl.Hosts()[0].Spec)
+		for hi, h := range cl.Hosts() {
+			run.Hosts()[hi].Spec = h.Spec
+			if err := run.SetBackground(hi, lvl); err != nil {
+				return nil, err
+			}
+		}
+		for _, ms := range c.App.Microservices() {
+			spec := c.App.Containers[ms]
+			for k := 0; k < cfg.ContainersPerMS; k++ {
+				hostID := (len(run.Containers()) + k) % run.NumHosts()
+				if _, err := run.Place(spec, hostID); err != nil {
+					return nil, fmt.Errorf("core: profiling placement: %w", err)
+				}
+			}
+		}
+		patterns := make(map[string]workload.Pattern)
+		for _, g := range c.App.Graphs {
+			patterns[g.Service] = workload.Static{Rate: rate}
+		}
+		simCfg := sim.Config{
+			Seed:         cfg.Seed + uint64(i),
+			Cluster:      run,
+			Interference: c.Interference,
+			Profiles:     c.App.Profiles,
+			Graphs:       c.App.Graphs,
+			Patterns:     patterns,
+			DurationMin:  cfg.WindowMin + 0.5,
+			WarmupMin:    0.5,
+		}
+		var coord *trace.Coordinator
+		if cfg.FromTraces {
+			coord = trace.NewCoordinator(c.Coordinator.SampleRate)
+			simCfg.Observer = coord
+			simCfg.SampleRate = coord.SampleRate
+		}
+		rt, err := sim.NewRuntime(simCfg)
+		if err != nil {
+			return nil, err
+		}
+		res := rt.Run()
+		out := make(map[string][]profiling.Sample)
+		if cfg.FromTraces {
+			// The production path: Eq. 1 latencies and inverse-sampling
+			// workload estimates from the Tracing Coordinator, joined
+			// with the injected interference level (the OS metrics).
+			aggs := coord.MinuteAggregates(func(string) int { return cfg.ContainersPerMS })
+			for _, a := range aggs {
+				// Minute 0 overlaps the warmup transient; drop it.
+				if a.Minute == 0 || a.Calls == 0 || a.TailMs <= 0 {
+					continue
+				}
+				out[a.Microservice] = append(out[a.Microservice], profiling.Sample{
+					Workload: a.PerContainerCalls,
+					TailMs:   a.TailMs,
+					CPUUtil:  lvl.CPU,
+					MemUtil:  lvl.Mem,
+				})
+			}
+		} else {
+			for ms, ss := range profiling.FromMinuteSamples(res.Samples) {
+				out[ms] = append(out[ms], ss...)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	samples := make(map[string][]profiling.Sample)
+	for _, runSamples := range perRun {
+		for ms, ss := range runSamples {
+			samples[ms] = append(samples[ms], ss...)
+		}
+	}
+	// Profiling historically stomped the live cluster; keep the observable
+	// post-state (no backgrounds, no containers) even though the sweep now
+	// runs on clones.
 	for _, h := range cl.Hosts() {
 		cl.SetBackground(h.ID, workload.Interference{})
 	}

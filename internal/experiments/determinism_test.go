@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"erms/internal/parallel"
+)
+
+// renderAll runs one experiment and renders every table to text.
+func renderAll(t *testing.T, id string) string {
+	t.Helper()
+	tables, err := Run(id, true)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var sb strings.Builder
+	for _, tab := range tables {
+		tab.Fprint(&sb)
+	}
+	return sb.String()
+}
+
+// TestTablesIdenticalAcrossWorkers is the parallelism determinism contract:
+// every experiment table must be byte-identical whether the independent runs
+// execute on one worker or many. Seeds are assigned per flat run index and
+// results folded back in index order, so worker count must never leak into
+// the output. fig17/fig20 are excluded: their tables contain wall-clock
+// columns and are sequential by design.
+func TestTablesIdenticalAcrossWorkers(t *testing.T) {
+	ids := []string{"fig5", "fig11", "fig14", "fig16", "fig18", "fig21"}
+	defer parallel.SetWorkers(0)
+
+	parallel.SetWorkers(1)
+	sequential := make(map[string]string, len(ids))
+	for _, id := range ids {
+		sequential[id] = renderAll(t, id)
+	}
+
+	parallel.SetWorkers(4)
+	for _, id := range ids {
+		if got := renderAll(t, id); got != sequential[id] {
+			t.Errorf("%s differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+				id, sequential[id], got)
+		}
+	}
+}
+
+// TestTablesStableAcrossRuns guards against map-iteration order leaking into
+// the folds: the same driver run twice at the same worker count must agree.
+func TestTablesStableAcrossRuns(t *testing.T) {
+	for _, id := range []string{"fig5", "fig16", "fig21"} {
+		a := renderAll(t, id)
+		b := renderAll(t, id)
+		if a != b {
+			t.Errorf("%s is not stable across reruns:\n--- first ---\n%s\n--- second ---\n%s", id, a, b)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"erms/internal/cluster"
 	"erms/internal/kube"
 	"erms/internal/multiplex"
+	"erms/internal/parallel"
 	"erms/internal/provision"
 	"erms/internal/sim"
 	"erms/internal/stats"
@@ -61,99 +62,117 @@ func Fig13(quick bool) []*Table {
 		avgContainers[p.name] = &stats.Moments{}
 	}
 
-	prevRate := trace.RateAt(0)
+	// Each (window, planner) cell plans against trace rates that are pure
+	// functions of the window index ("firm" uses the previous window's rate,
+	// available directly from the trace), builds its own cluster, and
+	// simulates with an explicit per-window seed — so the whole grid fans
+	// out. Rows are assembled afterwards in window order.
+	type cellOut struct {
+		total int
+		worst float64
+	}
+	cells, err := parallel.Map(windows*len(planners), func(i int) (cellOut, error) {
+		w, p := i/len(planners), planners[i%len(planners)]
+		rate := trace.RateAt(float64(w) * windowMin)
+		planRate := rate
+		if p.name == "firm" {
+			// Firm detects bottlenecks only after they appear: it plans
+			// for the load it has already observed.
+			planRate = trace.RateAt(float64(w-1) * windowMin)
+			if w == 0 {
+				planRate = trace.RateAt(0)
+			}
+		}
+		pc := newContext(app, uniformRates(app, planRate), slaMs,
+			staticBackground.CPU, staticBackground.Mem)
+		res, err := p.run(pc)
+		if err != nil {
+			return cellOut{}, err
+		}
+		total := res.total()
+
+		// Deploy and simulate this window's real traffic.
+		cl := cluster.New(20, cluster.PaperHost)
+		for _, h := range cl.Hosts() {
+			if h.ID%2 == 0 {
+				cl.SetBackground(h.ID, workload.Interference{CPU: 0.55, Mem: 0.55})
+			} else {
+				cl.SetBackground(h.ID, workload.Interference{CPU: 0.15, Mem: 0.15})
+			}
+		}
+		var sched kube.Scheduler = kube.BlindSpread{}
+		if p.name == "erms" {
+			sched = &provision.InterferenceAware{Groups: 4}
+		}
+		orch := kube.New(cl, sched)
+		mss := make([]string, 0, len(res.merged))
+		for ms := range res.merged {
+			mss = append(mss, ms)
+		}
+		sort.Strings(mss)
+		for _, ms := range mss {
+			if err := orch.Apply(app.Containers[ms], res.merged[ms]); err != nil {
+				return cellOut{}, err
+			}
+		}
+		// Closed-loop clients (wrk-style): the offered load self-throttles
+		// under saturation, so violating schemes report bounded factors
+		// rather than open-loop queue blow-ups.
+		const thinkMs = 1000.0
+		users := make(map[string]int)
+		slas := make(map[string]workload.SLA)
+		for _, g := range app.Graphs {
+			users[g.Service] = int(rate * (thinkMs + 30) / 60000)
+			slas[g.Service] = workload.P95SLA(g.Service, slaMs)
+		}
+		var priorities map[string]map[string]int
+		if p.name == "erms" {
+			if rp, err := multiplex.PlanScheme(multiplex.SchemePriority, ermsInputs(pc), pc.loads, app.Shared()); err == nil {
+				priorities = rp.Ranks
+			}
+		}
+		rt, err := sim.NewRuntime(sim.Config{
+			Seed:         uint64(100*w) + 7,
+			Cluster:      cl,
+			Interference: defaultInterference(),
+			Profiles:     app.Profiles,
+			Graphs:       app.Graphs,
+			ClosedUsers:  users,
+			ThinkTimeMs:  thinkMs,
+			SLAs:         slas,
+			Priorities:   priorities,
+			Delta:        0.05,
+			DurationMin:  windowMin + 0.4,
+			WarmupMin:    0.4,
+		})
+		if err != nil {
+			return cellOut{}, err
+		}
+		out := rt.Run()
+		var worst float64
+		for _, sr := range out.PerService {
+			if v := sr.P95() / slaMs; v > worst {
+				worst = v
+			}
+		}
+		return cellOut{total: total, worst: worst}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
 	for w := 0; w < windows; w++ {
-		tStart := float64(w) * windowMin
-		rate := trace.RateAt(tStart)
+		rate := trace.RateAt(float64(w) * windowMin)
 		rowC := []string{fmt.Sprintf("%d", w), fmt.Sprintf("%.0f", rate)}
 		rowT := append([]string(nil), rowC...)
-		for _, p := range planners {
-			planRate := rate
-			if p.name == "firm" {
-				// Firm detects bottlenecks only after they appear: it plans
-				// for the load it has already observed.
-				planRate = prevRate
+		for pi, p := range planners {
+			cell := cells[w*len(planners)+pi]
+			avgContainers[p.name].Add(float64(cell.total))
+			rowC = append(rowC, fmt.Sprintf("%d", cell.total))
+			if cell.worst > worstTail[p.name] {
+				worstTail[p.name] = cell.worst
 			}
-			pc := newContext(app, uniformRates(app, planRate), slaMs,
-				staticBackground.CPU, staticBackground.Mem)
-			res, err := p.run(pc)
-			if err != nil {
-				panic(err)
-			}
-			total := res.total()
-			avgContainers[p.name].Add(float64(total))
-			rowC = append(rowC, fmt.Sprintf("%d", total))
-
-			// Deploy and simulate this window's real traffic.
-			cl := cluster.New(20, cluster.PaperHost)
-			for _, h := range cl.Hosts() {
-				if h.ID%2 == 0 {
-					cl.SetBackground(h.ID, workload.Interference{CPU: 0.55, Mem: 0.55})
-				} else {
-					cl.SetBackground(h.ID, workload.Interference{CPU: 0.15, Mem: 0.15})
-				}
-			}
-			var sched kube.Scheduler = kube.BlindSpread{}
-			if p.name == "erms" {
-				sched = &provision.InterferenceAware{Groups: 4}
-			}
-			orch := kube.New(cl, sched)
-			mss := make([]string, 0, len(res.merged))
-			for ms := range res.merged {
-				mss = append(mss, ms)
-			}
-			sort.Strings(mss)
-			for _, ms := range mss {
-				if err := orch.Apply(app.Containers[ms], res.merged[ms]); err != nil {
-					panic(err)
-				}
-			}
-			// Closed-loop clients (wrk-style): the offered load self-throttles
-			// under saturation, so violating schemes report bounded factors
-			// rather than open-loop queue blow-ups.
-			const thinkMs = 1000.0
-			users := make(map[string]int)
-			slas := make(map[string]workload.SLA)
-			for _, g := range app.Graphs {
-				users[g.Service] = int(rate * (thinkMs + 30) / 60000)
-				slas[g.Service] = workload.P95SLA(g.Service, slaMs)
-			}
-			var priorities map[string]map[string]int
-			if p.name == "erms" {
-				if rp, err := multiplex.PlanScheme(multiplex.SchemePriority, ermsInputs(pc), pc.loads, app.Shared()); err == nil {
-					priorities = rp.Ranks
-				}
-			}
-			rt, err := sim.NewRuntime(sim.Config{
-				Seed:         uint64(100*w) + 7,
-				Cluster:      cl,
-				Interference: defaultInterference(),
-				Profiles:     app.Profiles,
-				Graphs:       app.Graphs,
-				ClosedUsers:  users,
-				ThinkTimeMs:  thinkMs,
-				SLAs:         slas,
-				Priorities:   priorities,
-				Delta:        0.05,
-				DurationMin:  windowMin + 0.4,
-				WarmupMin:    0.4,
-			})
-			if err != nil {
-				panic(err)
-			}
-			out := rt.Run()
-			var worst float64
-			for _, sr := range out.PerService {
-				if v := sr.P95() / slaMs; v > worst {
-					worst = v
-				}
-			}
-			if worst > worstTail[p.name] {
-				worstTail[p.name] = worst
-			}
-			rowT = append(rowT, f2(worst))
+			rowT = append(rowT, f2(cell.worst))
 		}
-		prevRate = rate
 		containers.AddRow(rowC...)
 		tails.AddRow(rowT...)
 	}

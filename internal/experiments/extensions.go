@@ -9,6 +9,7 @@ import (
 	"erms/internal/core"
 	"erms/internal/graph"
 	"erms/internal/kube"
+	"erms/internal/parallel"
 	"erms/internal/provision"
 	"erms/internal/stats"
 	"erms/internal/workload"
@@ -41,21 +42,31 @@ func DynamicGraphs(quick bool) []*Table {
 		Title:  "Dynamic dependency graphs: complete-graph vs class-based scaling (§7/§9 future work)",
 		Header: []string{"service", "variants", "classes", "complete ctrs", "class ctrs", "saving"},
 	}
-	var totalSaving stats.Moments
-	for _, svc := range base.Services() {
+	// Variant generation consumes the shared RNG, so it runs sequentially in
+	// service order; the per-service class planning is then independent and
+	// fans out.
+	svcs := base.Services()
+	variantsOf := make([][]*graph.Graph, len(svcs))
+	for si, svc := range svcs {
 		full := base.Graph(svc)
 		// Variant = the base graph with one random root stage dropped (when
 		// the root has several), emulating requests that skip a branch.
-		var variants []*graph.Graph
 		for v := 0; v < nVariants; v++ {
-			variants = append(variants, pruneVariant(full, r))
+			variantsOf[si] = append(variantsOf[si], pruneVariant(full, r))
 		}
+	}
+	plans, err := parallel.Map(len(svcs), func(si int) (*core.DynamicGraphResult, error) {
+		svc := svcs[si]
 		floor := slaFloor(base, svc, models, 0.3, 0.3)
-		res, err := core.DynamicGraphPlan(svc, variants, nil, 60_000,
+		return core.DynamicGraphPlan(svc, variantsOf[si], nil, 60_000,
 			workload.P95SLA(svc, floor*2), models, shares, 0.3, 0.3, 0.6)
-		if err != nil {
-			panic(err)
-		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	var totalSaving stats.Moments
+	for si, svc := range svcs {
+		res := plans[si]
 		t.AddRow(svc, fmt.Sprintf("%d", nVariants), fmt.Sprintf("%d", res.Classes),
 			fmt.Sprintf("%d", res.CompleteContainers), fmt.Sprintf("%d", res.ClassContainers),
 			pct(res.Saving))
@@ -96,7 +107,8 @@ func pruneVariant(g *graph.Graph, r *stats.RNG) *graph.Graph {
 
 // POPAblation sweeps the provisioning partition count (§5.4): more groups
 // means faster placement decisions at some imbalance cost — the POP
-// trade-off [31].
+// trade-off [31]. It stays sequential because the placement-time column is a
+// wall-clock measurement; concurrent placements would contend for cores.
 func POPAblation(quick bool) []*Table {
 	containersToPlace := 600
 	if quick {

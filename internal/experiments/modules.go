@@ -9,6 +9,7 @@ import (
 	"erms/internal/cluster"
 	"erms/internal/kube"
 	"erms/internal/multiplex"
+	"erms/internal/parallel"
 	"erms/internal/provision"
 	"erms/internal/scaling"
 	"erms/internal/sim"
@@ -45,13 +46,15 @@ func Fig14(quick bool) []*Table {
 	for _, p := range plannersA {
 		avg[p.name] = &stats.Moments{}
 	}
-	for _, s := range settings {
-		for _, p := range plannersA {
-			total, err := planSetting(p, s)
-			if err != nil {
-				panic(err)
-			}
-			avg[p.name].Add(float64(total))
+	totals, err := parallel.Map(len(settings)*len(plannersA), func(i int) (int, error) {
+		return planSetting(plannersA[i%len(plannersA)], settings[i/len(plannersA)])
+	})
+	if err != nil {
+		panic(err)
+	}
+	for si := range settings {
+		for pi, p := range plannersA {
+			avg[p.name].Add(float64(totals[si*len(plannersA)+pi]))
 		}
 	}
 	ltc := avg["erms-ltc"].Mean()
@@ -140,23 +143,34 @@ func Fig14(quick bool) []*Table {
 			with:    baselineWithPriority(baselines.Rhythm{}),
 		},
 	}
-	for _, pair := range pairs {
+	// Each (pair, setting) cell plans twice (without/with priority) and is
+	// independent of every other cell.
+	type wpair struct{ without, with int }
+	cells, err := parallel.Map(len(pairs)*len(settings), func(i int) (wpair, error) {
+		pair, s := pairs[i/len(settings)], settings[i%len(settings)]
+		models := modelsFor(s.app, defaultInterference())
+		floor := appSLAFloor(s.app, models, staticBackground.CPU, staticBackground.Mem)
+		pc := newContext(s.app, uniformRates(s.app, s.rate), floor*s.slaMult,
+			staticBackground.CPU, staticBackground.Mem)
+		r1, err := pair.without(pc)
+		if err != nil {
+			return wpair{}, err
+		}
+		r2, err := pair.with(pc)
+		if err != nil {
+			return wpair{}, err
+		}
+		return wpair{without: r1.total(), with: r2.total()}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for qi, pair := range pairs {
 		var without, with stats.Moments
-		for _, s := range settings {
-			models := modelsFor(s.app, defaultInterference())
-			floor := appSLAFloor(s.app, models, staticBackground.CPU, staticBackground.Mem)
-			pc := newContext(s.app, uniformRates(s.app, s.rate), floor*s.slaMult,
-				staticBackground.CPU, staticBackground.Mem)
-			r1, err := pair.without(pc)
-			if err != nil {
-				panic(err)
-			}
-			r2, err := pair.with(pc)
-			if err != nil {
-				panic(err)
-			}
-			without.Add(float64(r1.total()))
-			with.Add(float64(r2.total()))
+		for si := range settings {
+			cell := cells[qi*len(settings)+si]
+			without.Add(float64(cell.without))
+			with.Add(float64(cell.with))
 		}
 		b.AddRow(pair.name, f1(without.Mean()), f1(with.Mean()),
 			fmt.Sprintf("%.1f%%", 100*(1-with.Mean()/without.Mean())))
@@ -169,6 +183,12 @@ func Fig14(quick bool) []*Table {
 // the stock Kubernetes scheduler: (a) the container multiple each placement
 // policy needs to meet the SLA under injected interference, and (b) tail
 // latency at equal resources.
+//
+// Fig15 deliberately stays sequential: need() walks the container multiples
+// with a data-dependent early exit, consuming seeds from a shared counter as
+// it goes, so later runs depend on how many earlier runs happened. Fanning
+// it out would either change the seed sequence (different numbers) or
+// speculatively simulate multiples the search never reaches (wasted work).
 func Fig15(quick bool) []*Table {
 	app := apps.HotelReservation()
 	rate := 120_000.0

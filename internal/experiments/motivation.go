@@ -10,6 +10,7 @@ import (
 	"erms/internal/cluster"
 	"erms/internal/graph"
 	"erms/internal/multiplex"
+	"erms/internal/parallel"
 	"erms/internal/profiling"
 	"erms/internal/scaling"
 	"erms/internal/sim"
@@ -138,6 +139,20 @@ func Fig3(quick bool) []*Table {
 		points []point
 	}
 	ref := profiling.NewAnalytic("ms", sim.ServiceProfile{BaseMs: 20, CV: 0.5}, 4, cluster.DefaultInterference)
+	// Every (condition, load-fraction) profiling run is an independent
+	// simulation with a seed derived from its grid position (the same
+	// 100*(i+1)+fracIdx values the sequential sweep used); the fit consumes
+	// the samples merged in grid order.
+	collected, err := parallel.Map(len(fig3Conditions)*len(fracs), func(j int) ([]profiling.Sample, error) {
+		ci, fi := j/len(fracs), j%len(fracs)
+		cond := fig3Conditions[ci]
+		sat := ref.Saturation(cond.CPU, cond.Mem)
+		seed := uint64(100*(ci+1)) + uint64(fi)
+		return fig3Collect(fracs[fi]*sat, cond, seed, windowMin), nil
+	})
+	if err != nil {
+		panic(err)
+	}
 	var all []profiling.Sample
 	curves := make([]*curve, len(fig3Conditions))
 	for i, cond := range fig3Conditions {
@@ -145,11 +160,8 @@ func Fig3(quick bool) []*Table {
 			fmt.Sprintf("T(%.0f%%,%.0f%%)", cond.CPU*100, cond.Mem*100),
 			fmt.Sprintf("F(%.0f%%,%.0f%%)", cond.CPU*100, cond.Mem*100))
 		c := &curve{cond: cond}
-		sat := ref.Saturation(cond.CPU, cond.Mem)
-		seed := uint64(100 * (i + 1))
-		for _, frac := range fracs {
-			samples := fig3Collect(frac*sat, cond, seed, windowMin)
-			seed++
+		for fi := range fracs {
+			samples := collected[i*len(fracs)+fi]
 			if len(samples) == 0 {
 				continue
 			}
@@ -320,7 +332,11 @@ func Fig5(quick bool) []*Table {
 		Header: []string{"scheme", "CPU cores", "containers", "sim P95 svc1", "sim P95 svc2", "violations"},
 	}
 	pc := newContext(app, rates, 300, 0.2, 0.2)
-	for _, scheme := range []multiplex.Scheme{multiplex.SchemeFCFS, multiplex.SchemeNonShared, multiplex.SchemePriority} {
+	// The three schemes plan and simulate independently (shared seed 5, own
+	// cluster each); rows land in scheme order.
+	schemes := []multiplex.Scheme{multiplex.SchemeFCFS, multiplex.SchemeNonShared, multiplex.SchemePriority}
+	rows, err := parallel.Map(len(schemes), func(si int) ([]string, error) {
+		scheme := schemes[si]
 		inputs := make(map[string]scaling.Input, len(app.Graphs))
 		for _, g := range app.Graphs {
 			inputs[g.Service] = scaling.Input{
@@ -330,7 +346,7 @@ func Fig5(quick bool) []*Table {
 		}
 		plan, err := multiplex.PlanScheme(scheme, inputs, pc.loads, app.Shared())
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cores := 0.0
 		for ms, n := range plan.Containers {
@@ -341,11 +357,18 @@ func Fig5(quick bool) []*Table {
 		for _, h := range cl.Hosts() {
 			cl.SetBackground(h.ID, workload.Interference{CPU: 0.2, Mem: 0.2})
 		}
+		// Sorted placement order: map iteration would randomize container
+		// order and, through round-robin routing, the simulated numbers.
+		mss := make([]string, 0, len(plan.Containers))
+		for ms := range plan.Containers {
+			mss = append(mss, ms)
+		}
+		sort.Strings(mss)
 		i := 0
-		for ms, n := range plan.Containers {
-			for k := 0; k < n; k++ {
+		for _, ms := range mss {
+			for k := 0; k < plan.Containers[ms]; k++ {
 				if _, err := cl.Place(app.Containers[ms], i%cl.NumHosts()); err != nil {
-					panic(err)
+					return nil, err
 				}
 				i++
 			}
@@ -370,12 +393,18 @@ func Fig5(quick bool) []*Table {
 		}
 		rt, err := sim.NewRuntime(cfg)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		res := rt.Run()
 		viol := math.Max(res.PerService["svc1"].ViolationRate(), res.PerService["svc2"].ViolationRate())
-		t.AddRow(scheme.String(), f1(cores), fmt.Sprintf("%d", plan.TotalContainers()),
-			f1(res.PerService["svc1"].P95()), f1(res.PerService["svc2"].P95()), pct(viol))
+		return []string{scheme.String(), f1(cores), fmt.Sprintf("%d", plan.TotalContainers()),
+			f1(res.PerService["svc1"].P95()), f1(res.PerService["svc2"].P95()), pct(viol)}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: FCFS 10.5 cores, non-sharing 9, priority 7.5 (priority saves 40%% vs FCFS, 20%% vs non-sharing)")
 	t.AddNote("note: non-sharing rows simulate the merged pool; its per-service partitioning is reflected in the plan only")
@@ -450,14 +479,15 @@ func Fig9(quick bool) []*Table {
 		Title:  "Response time vs δ at a shared microservice (P95, ms)",
 		Header: []string{"delta", "high-priority P95", "low-priority P95"},
 	}
-	var hi0, lo0 float64
-	for i, d := range deltas {
+	// One independent simulation per δ (all with seed 77, as before).
+	type hilo struct{ hi, lo float64 }
+	points, err := parallel.Map(len(deltas), func(i int) (hilo, error) {
 		g1 := graph.New("hi", "P")
 		g2 := graph.New("lo", "P")
 		cl := cluster.New(2, cluster.PaperHost)
 		for k := 0; k < 2; k++ {
 			if _, err := cl.Place(cluster.PaperContainer("P"), k); err != nil {
-				panic(err)
+				return hilo{}, err
 			}
 		}
 		rt, err := sim.NewRuntime(sim.Config{
@@ -470,20 +500,25 @@ func Fig9(quick bool) []*Table {
 				"lo": workload.Static{Rate: 112_000},
 			},
 			Priorities:  map[string]map[string]int{"P": {"hi": 0, "lo": 1}},
-			Delta:       d,
+			Delta:       deltas[i],
 			DurationMin: duration + 0.5,
 			WarmupMin:   0.5,
 		})
 		if err != nil {
-			panic(err)
+			return hilo{}, err
 		}
 		res := rt.Run()
-		hi := res.PerService["hi"].P95()
-		lo := res.PerService["lo"].P95()
+		return hilo{hi: res.PerService["hi"].P95(), lo: res.PerService["lo"].P95()}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	var hi0, lo0 float64
+	for i, d := range deltas {
 		if i == 0 {
-			hi0, lo0 = hi, lo
+			hi0, lo0 = points[i].hi, points[i].lo
 		}
-		t.AddRow(f2(d), f1(hi), f1(lo))
+		t.AddRow(f2(d), f1(points[i].hi), f1(points[i].lo))
 	}
 	t.AddNote("paper: δ 0→0.05 costs high-priority ≈5%% and improves low-priority ≥20%%; baseline at δ=0: hi=%.1f lo=%.1f", hi0, lo0)
 	return []*Table{t}

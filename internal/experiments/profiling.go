@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"erms/internal/apps"
+	"erms/internal/parallel"
 	"erms/internal/profiling"
 	"erms/internal/stats"
 	"erms/internal/workload"
@@ -98,45 +99,69 @@ func Fig10(quick bool) []*Table {
 		Header: []string{"application", "erms", "xgboost(gbdt)", "nn-64"},
 	}
 	appsUnder := []*apps.App{apps.SocialNetwork(), apps.MediaService(), apps.HotelReservation()}
-	seed := uint64(1)
-	for _, app := range appsUnder {
-		var accE, accG, accN stats.Moments
-		mss := app.Microservices()
-		for i := 0; i < msPerApp && i < len(mss); i++ {
-			ms := mss[i*len(mss)/msPerApp]
-			m := profiling.NewAnalytic(ms, app.Profiles[ms], app.Containers[ms].Threads, defaultInterference())
-			samples := sampleGen(m, nSamplesPerMS, 0.08, seed)
-			seed++
-			train, test, err := profiling.Split(samples, 22.0/24)
-			if err != nil {
-				continue
-			}
-			e, g, n := accuracyRow(train, test, seed)
-			accE.Add(e)
-			accG.Add(g)
-			accN.Add(n)
-		}
-		a.AddRow(app.Name, pct(accE.Mean()), pct(accG.Mean()), pct(accN.Mean()))
-	}
 	// Alibaba-shaped population: heterogeneous base times.
 	ali := apps.Alibaba(apps.AlibabaConfig{Seed: 9, Services: 10, MeanGraphSize: 10})
-	var accE, accG, accN stats.Moments
-	mss := ali.Microservices()
-	for i := 0; i < msPerApp && i < len(mss); i++ {
-		ms := mss[i*len(mss)/msPerApp]
-		m := profiling.NewAnalytic(ms, ali.Profiles[ms], ali.Containers[ms].Threads, defaultInterference())
-		samples := sampleGen(m, nSamplesPerMS, 0.10, seed)
-		seed++
+
+	// Each sampled microservice is one independent generate→split→fit job.
+	// Seeds are assigned by flat job index (the sequential sweep's seed++
+	// advanced once per job: generation used the running seed, the fits the
+	// next one), and per-application rows fold results back in job order.
+	type accJob struct {
+		m     *profiling.Analytic
+		noise float64
+	}
+	var jobs []accJob
+	var rowJobs [][]int // job indices per table row
+	var rowNames []string
+	addBlock := func(name string, app *apps.App, noise float64) {
+		mss := app.Microservices()
+		var idxs []int
+		for i := 0; i < msPerApp && i < len(mss); i++ {
+			ms := mss[i*len(mss)/msPerApp]
+			jobs = append(jobs, accJob{
+				m:     profiling.NewAnalytic(ms, app.Profiles[ms], app.Containers[ms].Threads, defaultInterference()),
+				noise: noise,
+			})
+			idxs = append(idxs, len(jobs)-1)
+		}
+		rowJobs = append(rowJobs, idxs)
+		rowNames = append(rowNames, name)
+	}
+	for _, app := range appsUnder {
+		addBlock(app.Name, app, 0.08)
+	}
+	addBlock("alibaba(taobao)", ali, 0.10)
+
+	type accOut struct {
+		ok      bool
+		e, g, n float64
+	}
+	outs, err := parallel.Map(len(jobs), func(j int) (accOut, error) {
+		genSeed := uint64(1) + uint64(j)
+		samples := sampleGen(jobs[j].m, nSamplesPerMS, jobs[j].noise, genSeed)
 		train, test, err := profiling.Split(samples, 22.0/24)
 		if err != nil {
-			continue
+			return accOut{}, nil
 		}
-		e, g, n := accuracyRow(train, test, seed)
-		accE.Add(e)
-		accG.Add(g)
-		accN.Add(n)
+		e, g, n := accuracyRow(train, test, genSeed+1)
+		return accOut{ok: true, e: e, g: g, n: n}, nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	a.AddRow("alibaba(taobao)", pct(accE.Mean()), pct(accG.Mean()), pct(accN.Mean()))
+	for ri, name := range rowNames {
+		var accE, accG, accN stats.Moments
+		for _, j := range rowJobs[ri] {
+			if !outs[j].ok {
+				continue
+			}
+			accE.Add(outs[j].e)
+			accG.Add(outs[j].g)
+			accN.Add(outs[j].n)
+		}
+		a.AddRow(name, pct(accE.Mean()), pct(accG.Mean()), pct(accN.Mean()))
+	}
+	mss := ali.Microservices()
 	a.AddNote("paper: all three land in 83-88%%; Erms needs only the slopes/intercepts for scaling")
 
 	b := &Table{
@@ -154,14 +179,22 @@ func Fig10(quick bool) []*Table {
 	// Fixed held-out tail for every fraction.
 	test := full[len(full)*4/5:]
 	pool := full[:len(full)*4/5]
-	for _, frac := range fractions {
-		n := int(float64(len(pool)) * frac)
+	// The fractions share only the read-only pool/test slices and a fixed
+	// fit seed, so they fan out.
+	type fracOut struct{ e, g, n float64 }
+	fouts, err := parallel.Map(len(fractions), func(i int) (fracOut, error) {
+		n := int(float64(len(pool)) * fractions[i])
 		if n < 12 {
 			n = 12
 		}
-		train := pool[:n]
-		e, g, nn := accuracyRow(train, test, 31)
-		b.AddRow(fmt.Sprintf("%.0f%%", frac*100), pct(e), pct(g), pct(nn))
+		e, g, nn := accuracyRow(pool[:n], test, 31)
+		return fracOut{e: e, g: g, n: nn}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, frac := range fractions {
+		b.AddRow(fmt.Sprintf("%.0f%%", frac*100), pct(fouts[i].e), pct(fouts[i].g), pct(fouts[i].n))
 	}
 	b.AddNote("paper: Erms holds ~81%% at 70%% of the data; the NN collapses as samples shrink")
 	return []*Table{a, b}

@@ -8,6 +8,7 @@ import (
 	"erms/internal/cluster"
 	"erms/internal/kube"
 	"erms/internal/multiplex"
+	"erms/internal/parallel"
 	"erms/internal/provision"
 	"erms/internal/scaling"
 	"erms/internal/sim"
@@ -87,12 +88,22 @@ func Fig11(quick bool) []*Table {
 		byRate[p.name] = make(map[float64]*stats.Moments)
 		bySLA[p.name] = make(map[string]*stats.Moments)
 	}
-	for _, s := range settings {
-		for _, p := range planners {
-			total, err := planSetting(p, s)
-			if err != nil {
-				panic(fmt.Sprintf("fig11 %s on %s@%v/%s: %v", p.name, s.app.Name, s.rate, s.slaLevel, err))
-			}
+	// Every (setting, planner) plan is independent; fan them out and fold
+	// the totals back in sweep order.
+	totals, err := parallel.Map(len(settings)*len(planners), func(i int) (int, error) {
+		s, p := settings[i/len(planners)], planners[i%len(planners)]
+		total, err := planSetting(p, s)
+		if err != nil {
+			return 0, fmt.Errorf("fig11 %s on %s@%v/%s: %w", p.name, s.app.Name, s.rate, s.slaLevel, err)
+		}
+		return total, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for si, s := range settings {
+		for pi, p := range planners {
+			total := totals[si*len(planners)+pi]
 			counts[p.name] = append(counts[p.name], float64(total))
 			if byRate[p.name][s.rate] == nil {
 				byRate[p.name][s.rate] = &stats.Moments{}
@@ -298,21 +309,34 @@ func Fig12(quick bool) []*Table {
 	for _, p := range planners {
 		agg[p.name] = &stats.Moments{}
 	}
-	seed := uint64(21)
-	for _, rate := range rates {
-		for _, mult := range slaMults {
-			s := staticSetting{app: app, rate: rate, slaMult: mult, slaLevel: fmt.Sprintf("%.1fx", mult)}
+	// One simulation per (rate, slaMult, planner); seeds follow the flat
+	// sweep index exactly as the old sequential seed++ did.
+	type simOut struct{ viol, tail float64 }
+	const baseSeed = uint64(21)
+	nm := len(slaMults) * len(planners)
+	results, err := parallel.Map(len(rates)*nm, func(i int) (simOut, error) {
+		rate := rates[i/nm]
+		mult := slaMults[(i/len(planners))%len(slaMults)]
+		p := planners[i%len(planners)]
+		s := staticSetting{app: app, rate: rate, slaMult: mult, slaLevel: fmt.Sprintf("%.1fx", mult)}
+		viol, tail, err := simSetting(p, s, duration, baseSeed+uint64(i))
+		if err != nil {
+			return simOut{}, err
+		}
+		return simOut{viol, tail}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for ri, rate := range rates {
+		for mi, mult := range slaMults {
 			rowA := []string{fmt.Sprintf("%s %.0f/min sla %.1fx", app.Name, rate, mult)}
 			rowB := append([]string(nil), rowA[0])
-			for _, p := range planners {
-				viol, tail, err := simSetting(p, s, duration, seed)
-				seed++
-				if err != nil {
-					panic(err)
-				}
-				agg[p.name].Add(viol)
-				rowA = append(rowA, pct(viol))
-				rowB = append(rowB, f2(tail))
+			for pi, p := range planners {
+				r := results[ri*nm+mi*len(planners)+pi]
+				agg[p.name].Add(r.viol)
+				rowA = append(rowA, pct(r.viol))
+				rowB = append(rowB, f2(r.tail))
 			}
 			a.AddRow(rowA...)
 			b.AddRow(rowB...)

@@ -8,6 +8,7 @@ import (
 	"erms/internal/apps"
 	"erms/internal/baselines"
 	"erms/internal/multiplex"
+	"erms/internal/parallel"
 	"erms/internal/stats"
 )
 
@@ -64,17 +65,32 @@ func Fig16(quick bool) []*Table {
 		baselinePlanner(baselines.Rhythm{}),
 	}
 
+	// The five planners share only read-only context; they fan out and the
+	// result maps fill in planner order. Per-service counts are collected in
+	// sorted service order so downstream float sums are bit-stable.
+	results, err := parallel.Map(len(planners), func(i int) (*planResult, error) {
+		res, err := planners[i].run(pc)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s: %w", planners[i].name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		panic(err)
+	}
 	perSvcCounts := map[string][]float64{}
 	totals := map[string]int{}
-	for _, p := range planners {
-		res, err := p.run(pc)
-		if err != nil {
-			panic(fmt.Sprintf("fig16 %s: %v", p.name, err))
-		}
+	for pi, p := range planners {
+		res := results[pi]
 		totals[p.name] = res.total()
-		var counts []float64
-		for _, alloc := range res.perService {
-			counts = append(counts, float64(alloc.TotalContainers()))
+		svcs := make([]string, 0, len(res.perService))
+		for svc := range res.perService {
+			svcs = append(svcs, svc)
+		}
+		sort.Strings(svcs)
+		counts := make([]float64, 0, len(svcs))
+		for _, svc := range svcs {
+			counts = append(counts, float64(res.perService[svc].TotalContainers()))
 		}
 		perSvcCounts[p.name] = counts
 	}
@@ -120,7 +136,9 @@ func Fig16(quick bool) []*Table {
 
 // Scalability reproduces the §6.5.2 overhead measurements: latency target
 // computation time versus dependency-graph size, and provisioning time for
-// large placements.
+// large placements. It stays sequential on purpose: the figure *is* a
+// wall-clock measurement, and concurrent runs would contend for cores and
+// inflate each other's timings.
 func Scalability(quick bool) []*Table {
 	sizes := []int{50, 200, 500, 1000, 2000}
 	if quick {
@@ -164,9 +182,11 @@ func Theorem1(quick bool) []*Table {
 	if quick {
 		n = 500
 	}
+	// The shared RNG forces sequential scenario *generation* (draw order is
+	// part of the figure's definition), but the closed-form evaluations are
+	// pure and fan out over the pre-generated scenarios.
 	r := stats.NewRNG(23)
-	violations := 0
-	var savePriority, saveNonShare stats.Moments
+	params := make([]multiplex.Theorem1Params, n)
 	for i := 0; i < n; i++ {
 		p := multiplex.Theorem1Params{
 			AU: 0.002 + 0.01*r.Float64(), BU: 1 + r.Float64(), RU: 0.0001 + 0.0004*r.Float64(),
@@ -177,17 +197,41 @@ func Theorem1(quick bool) []*Table {
 		slack := 20 + 200*r.Float64()
 		p.SLA1 = slack + p.BU + p.BP
 		p.SLA2 = slack + p.BH + p.BP
+		params[i] = p
+	}
+	type verdict struct {
+		ok, violated           bool
+		savePrio, saveNonShare float64
+	}
+	verdicts, err := parallel.Map(n, func(i int) (verdict, error) {
+		p := params[i]
 		s, err1 := p.SharingFCFS()
 		nn, err2 := p.NonSharing()
 		o, err3 := p.PriorityUsage()
 		if err1 != nil || err2 != nil || err3 != nil {
+			return verdict{}, nil
+		}
+		return verdict{
+			ok:           true,
+			violated:     !(o <= nn+1e-9 && nn <= s+1e-9),
+			savePrio:     1 - o/s,
+			saveNonShare: 1 - nn/s,
+		}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	violations := 0
+	var savePriority, saveNonShare stats.Moments
+	for _, v := range verdicts {
+		if !v.ok {
 			continue
 		}
-		if !(o <= nn+1e-9 && nn <= s+1e-9) {
+		if v.violated {
 			violations++
 		}
-		savePriority.Add(1 - o/s)
-		saveNonShare.Add(1 - nn/s)
+		savePriority.Add(v.savePrio)
+		saveNonShare.Add(v.saveNonShare)
 	}
 	t := &Table{
 		ID:     "fig18",

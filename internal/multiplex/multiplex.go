@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"erms/internal/parallel"
 	"erms/internal/scaling"
 )
 
@@ -187,15 +188,32 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 		sharedSet[ms] = true
 	}
 
+	// Per-service latency-target decomposition: each service's scaling plan
+	// is independent (scaling.Plan is pure and only reads the shared maps),
+	// so the services fan out across the worker pool. Results merge keyed by
+	// a sorted name list, so output is identical at any worker count.
+	svcs := make([]string, 0, len(inputs))
+	for svc := range inputs {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
 	planAll := func(workloads map[string]map[string]float64) (map[string]*scaling.Allocation, error) {
-		out := make(map[string]*scaling.Allocation, len(inputs))
-		for svc, in := range inputs {
+		allocs, err := parallel.Map(len(svcs), func(i int) (*scaling.Allocation, error) {
+			svc := svcs[i]
+			in := inputs[svc]
 			in.Workloads = workloads[svc]
 			alloc, err := scaling.Plan(in)
 			if err != nil {
 				return nil, fmt.Errorf("multiplex: service %s: %w", svc, err)
 			}
-			out[svc] = alloc
+			return alloc, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]*scaling.Allocation, len(svcs))
+		for i, svc := range svcs {
+			out[svc] = allocs[i]
 		}
 		return out, nil
 	}
@@ -210,7 +228,8 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 		if err != nil {
 			return nil, err
 		}
-		for _, alloc := range plan.PerService {
+		for _, svc := range sortedKeys(plan.PerService) {
+			alloc := plan.PerService[svc]
 			for ms, n := range alloc.Containers {
 				plan.Containers[ms] += n
 			}
@@ -243,11 +262,15 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 	}
 
 	// Merge (priority/FCFS): shared microservices deploy the max requirement
-	// across services; private ones belong to exactly one service.
+	// across services; private ones belong to exactly one service. Iterate
+	// services and microservices in sorted order so the usage float sum is
+	// bit-stable run to run.
 	rawMax := make(map[string]float64)
 	shareOf := make(map[string]float64)
-	for svc, alloc := range plan.PerService {
-		for ms, n := range alloc.Containers {
+	for _, svc := range sortedKeys(plan.PerService) {
+		alloc := plan.PerService[svc]
+		for _, ms := range sortedKeys(alloc.Containers) {
+			n := alloc.Containers[ms]
 			if !sharedSet[ms] {
 				plan.Containers[ms] += n
 				plan.ResourceUsage += alloc.ContainersRaw[ms] * inputs[svc].Shares[ms]
@@ -262,10 +285,21 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 			shareOf[ms] = inputs[svc].Shares[ms]
 		}
 	}
-	for ms, raw := range rawMax {
-		plan.ResourceUsage += raw * shareOf[ms]
+	for _, ms := range sortedKeys(rawMax) {
+		plan.ResourceUsage += rawMax[ms] * shareOf[ms]
 	}
 	return plan, nil
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// iteration wherever floats are accumulated or ties broken.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func copyLoads(loads map[string]map[string]float64) map[string]map[string]float64 {

@@ -1,0 +1,134 @@
+// Package parallel provides a bounded worker pool for fanning out
+// independent units of work across CPU cores while keeping output
+// deterministic.
+//
+// The determinism contract: callers hand the pool an *indexed* set of
+// independent tasks, each of which derives all of its randomness from an
+// explicit seed computed from the task index (never from a shared RNG or
+// from execution order). Results are collected into slots addressed by the
+// same index, so the merged output is identical regardless of worker count
+// or interleaving. Under that contract ForEach/Map with Workers()==N is
+// output-equivalent to a sequential loop.
+//
+// The pool is NOT safe for loops whose iterations share mutable state
+// (a shared *stats.RNG, an incrementing seed counter consumed
+// data-dependently, a cluster mutated in place) or whose purpose is to
+// measure wall-clock time of the body; those must stay sequential.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the pool width used when a call does not override
+// it. 0 means "use runtime.GOMAXPROCS(0)".
+var defaultWorkers atomic.Int64
+
+// SetWorkers sets the default worker count for ForEach and Map. n <= 0
+// resets to the GOMAXPROCS default. It is safe to call concurrently with
+// running pools; in-flight calls keep the width they started with.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers reports the current default worker count (GOMAXPROCS(0) when
+// unset).
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for i in [0, n) on a bounded pool of Workers()
+// goroutines. Task indices are handed out atomically, every started task
+// runs to completion, and ForEach returns the error from the
+// lowest-indexed failing task (matching what a sequential loop that stops
+// at the first error would surface). After the first observed failure,
+// workers stop picking up new indices, so later tasks may never run —
+// exactly like the sequential loop they replace.
+//
+// With a single worker (or n == 1) fn runs on the calling goroutine with
+// no synchronization overhead.
+func ForEach(n int, fn func(i int) error) error {
+	return forEach(n, Workers(), fn)
+}
+
+func forEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64 // next index to hand out
+		failed atomic.Bool  // set once any task errors
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Map runs fn(i) for i in [0, n) on the pool and returns the results in
+// index order. On error the slice is nil and the error is the one from the
+// lowest-indexed failing task.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

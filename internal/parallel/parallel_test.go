@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	var ran [257]atomic.Bool
+	if err := forEach(len(ran), 8, func(i int) error {
+		if ran[i].Swap(true) {
+			return fmt.Errorf("index %d ran twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	if err := ForEach(0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n<=0")
+	}
+}
+
+// TestFirstErrorLowestIndex hammers the error path concurrently: many tasks
+// fail, and the reported error must always be the lowest-indexed failure
+// among those that ran.
+func TestFirstErrorLowestIndex(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		err := forEach(64, 8, func(i int) error {
+			if i%3 == 1 { // 1, 4, 7, ... fail
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		// Lowest failing index overall is 1; with 8 workers racing, index 1
+		// is always started (it is among the first 8 handed out) so the
+		// winner must be task 1.
+		if err.Error() != "task 1" {
+			t.Fatalf("trial %d: got %v, want task 1", trial, err)
+		}
+	}
+}
+
+func TestErrorStopsDispatch(t *testing.T) {
+	var started atomic.Int64
+	sentinel := errors.New("boom")
+	err := forEach(10000, 4, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if n := started.Load(); n >= 10000 {
+		t.Fatalf("dispatch did not stop early: %d tasks started", n)
+	}
+}
+
+func TestSequentialFallbackStopsAtFirstError(t *testing.T) {
+	var calls []int
+	err := forEach(10, 1, func(i int) error {
+		calls = append(calls, i)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "stop" {
+		t.Fatalf("got %v", err)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("sequential fallback ran %v, want exactly [0 1 2 3]", calls)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(-5)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() after negative = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(8, func(i int) (string, error) {
+		if i >= 4 {
+			return "", fmt.Errorf("bad %d", i)
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatal("expected nil slice on error")
+	}
+}
+
+// TestDeterministicMerge checks the core contract: per-index seeds plus
+// ordered collection give identical output at any worker count.
+func TestDeterministicMerge(t *testing.T) {
+	run := func(workers int) []uint64 {
+		out := make([]uint64, 64)
+		if err := forEach(64, workers, func(i int) error {
+			x := uint64(i)*2654435761 + 12345 // per-index "seed"
+			for k := 0; k < 100; k++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			out[i] = x
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		par := run(w)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] differs", w, i)
+			}
+		}
+	}
+}

@@ -331,7 +331,15 @@ func compute(in Input, useHigh map[string]bool) (*Allocation, error) {
 		return nil, err
 	}
 
-	for ms, raw := range alloc.ContainersRaw {
+	// Sum usage in sorted order so the float total is bit-stable run to run
+	// (map iteration order would perturb the low bits).
+	mss := make([]string, 0, len(alloc.ContainersRaw))
+	for ms := range alloc.ContainersRaw {
+		mss = append(mss, ms)
+	}
+	sort.Strings(mss)
+	for _, ms := range mss {
+		raw := alloc.ContainersRaw[ms]
 		n := int(math.Ceil(raw - 1e-9))
 		if n < 1 {
 			n = 1

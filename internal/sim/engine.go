@@ -12,8 +12,6 @@
 // has to rediscover the model from simulated traces.
 package sim
 
-import "container/heap"
-
 // event is one scheduled callback.
 type event struct {
 	time float64
@@ -21,19 +19,61 @@ type event struct {
 	fn   func()
 }
 
+// eventHeap is a typed binary min-heap ordered by (time, seq). Unlike
+// container/heap it moves event values directly — no interface{} boxing on
+// push or pop — so scheduling an event costs zero heap allocations once the
+// backing array has grown to the simulation's high-water mark.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq // stable FIFO for simultaneous events
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() event   { return h[0] }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure reference
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
 
 // Engine is a discrete-event clock with a pending-event heap. Time is in
 // milliseconds. The zero value is not usable; call NewEngine.
@@ -43,11 +83,10 @@ type Engine struct {
 	events eventHeap
 }
 
-// NewEngine creates an engine with the clock at zero.
+// NewEngine creates an engine with the clock at zero. The event heap's
+// backing array is pre-sized so short simulations never reallocate it.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{events: make(eventHeap, 0, 1024)}
 }
 
 // Now returns the current simulated time in milliseconds.
@@ -67,18 +106,17 @@ func (e *Engine) At(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+	e.events.push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // Run processes events until the queue empties or the clock passes until
 // (milliseconds). Events scheduled exactly at until are executed.
 func (e *Engine) Run(until float64) {
-	for e.events.Len() > 0 {
-		next := e.events.Peek()
-		if next.time > until {
+	for len(e.events) > 0 {
+		if e.events[0].time > until {
 			break
 		}
-		heap.Pop(&e.events)
+		next := e.events.pop()
 		e.now = next.time
 		next.fn()
 	}
@@ -88,4 +126,4 @@ func (e *Engine) Run(until float64) {
 }
 
 // Pending returns the number of queued events (for tests and diagnostics).
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.events) }

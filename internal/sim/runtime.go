@@ -246,8 +246,33 @@ type Runtime struct {
 	warmMs     float64
 	rrNext     map[string]int
 
+	// jobFree recycles Job records: a job becomes unreachable as soon as its
+	// onServed callback has been taken in startJob's completion event, so the
+	// record returns here instead of to the GC. The runtime is single-
+	// threaded (one engine, one goroutine), so a plain slice suffices.
+	jobFree []*Job
+
 	nextTrace int64
 	result    *Result
+}
+
+// getJob takes a Job from the free list (or allocates one).
+func (rt *Runtime) getJob(svc string, enqueued float64) *Job {
+	if n := len(rt.jobFree); n > 0 {
+		j := rt.jobFree[n-1]
+		rt.jobFree = rt.jobFree[:n-1]
+		j.Service = svc
+		j.Priority = 0
+		j.Enqueued = enqueued
+		return j
+	}
+	return &Job{Service: svc, Enqueued: enqueued}
+}
+
+// putJob recycles a Job whose service callback has been detached.
+func (rt *Runtime) putJob(j *Job) {
+	j.onServed = nil
+	rt.jobFree = append(rt.jobFree, j)
 }
 
 // NewRuntime validates the configuration and prepares a runtime.
@@ -309,10 +334,7 @@ func (rt *Runtime) Run() *Result {
 			continue
 		}
 		arr := workload.Arrivals(rt.cfg.Patterns[g.Service], rt.rng.Split(), 0, rt.cfg.DurationMin)
-		for _, t := range arr {
-			t := t
-			rt.eng.At(t, func() { rt.startRequest(g, t >= warmMs) })
-		}
+		rt.scheduleArrivals(g, arr, warmMs)
 	}
 
 	// Schedule injected container failures and recoveries.
@@ -351,6 +373,29 @@ func (rt *Runtime) Run() *Result {
 		rt.result.ServiceMSCalls[svc] = rates
 	}
 	return rt.result
+}
+
+// scheduleArrivals walks a pre-computed, sorted arrival list lazily: one
+// closure per service keeps exactly one pending arrival event in the heap
+// and re-arms itself for the next timestamp. workload.Arrivals fully
+// consumes its RNG before returning, so laziness cannot perturb random
+// streams; execution order is unchanged because events still fire in
+// timestamp order.
+func (rt *Runtime) scheduleArrivals(g *graph.Graph, arr []float64, warmMs float64) {
+	if len(arr) == 0 {
+		return
+	}
+	idx := 0
+	var walk func()
+	walk = func() {
+		t := arr[idx]
+		idx++
+		if idx < len(arr) {
+			rt.eng.At(arr[idx], walk)
+		}
+		rt.startRequest(g, t >= warmMs)
+	}
+	rt.eng.At(arr[0], walk)
 }
 
 // startRequest begins one end-to-end request for the given service graph.
@@ -416,7 +461,7 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 	serverRecv := clientSend + rt.cfg.NetworkDelayMs
 	ms := n.Microservice
 
-	job := &Job{Service: svc, Enqueued: serverRecv}
+	job := rt.getJob(svc, serverRecv)
 	if ranks, ok := rt.cfg.Priorities[ms]; ok {
 		job.Priority = ranks[svc]
 	}
@@ -549,7 +594,11 @@ func (rt *Runtime) startJob(cs *containerState, job *Job) {
 	rt.eng.Schedule(s, func() {
 		cs.busy--
 		rt.updateUsage(cs)
-		job.onServed()
+		// Detach the callback and recycle the record before running it: the
+		// callback may start downstream nodes that reuse the record.
+		served := job.onServed
+		rt.putJob(job)
+		served()
 		if !cs.down && len(cs.queue) > 0 && cs.busy < cs.c.Spec.Threads {
 			idx := cs.policy.Pick(cs.queue, rt.rng)
 			next := cs.queue[idx]

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI gate: vet, build, and run the full test suite under the race detector.
+# The -race pass is what validates the parallel experiment fan-out — the
+# worker pool, the per-run seed handoff, and the ordered result folds all
+# run concurrently in the determinism tests.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
