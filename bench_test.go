@@ -123,6 +123,10 @@ func BenchmarkFig20POPAblation(b *testing.B) { runExperiment(b, "fig20") }
 // decomposition against the exact Eq. 13-14 optimum (dual-ascent solver).
 func BenchmarkFig21ExactGap(b *testing.B) { runExperiment(b, "fig21") }
 
+// BenchmarkFig22FaultInjection runs the three control loops (resilient Erms,
+// naive Erms, Firm) under the standard seeded fault schedule.
+func BenchmarkFig22FaultInjection(b *testing.B) { runExperiment(b, "fig22") }
+
 // --- micro-benchmarks on the core primitives -----------------------------
 
 // BenchmarkPlanHotel times one full Online Scaling pass (graph merge +

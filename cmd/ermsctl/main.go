@@ -8,6 +8,7 @@
 //	ermsctl -app social -rates compose-post=10000,home-timeline=60000,user-timeline=40000 -evaluate
 //	ermsctl -app alibaba -services 100 -rate 5000 -plan -scheme fcfs
 //	ermsctl -app hotel -rate 30000 -profile -evaluate
+//	ermsctl -app hotel -rate 12000 -chaos -chaos-windows 8
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"erms"
+	"erms/internal/chaos"
 	"erms/internal/parallel"
 	"erms/internal/persist"
 )
@@ -42,6 +44,10 @@ func main() {
 		saveApp  = flag.String("save-app", "", "write the application topology as JSON to this file and exit")
 		loadApp  = flag.String("load-app", "", "load the application from a JSON file (overrides -app)")
 		workers  = flag.Int("parallel", 0, "worker-pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
+
+		doChaos    = flag.Bool("chaos", false, "run the control loop under a seeded fault schedule and print per-window reports")
+		chaosWin   = flag.Int("chaos-windows", 8, "scaling windows for -chaos (each -minutes long)")
+		chaosNaive = flag.Bool("chaos-naive", false, "disable resilience for -chaos: no retry, no degraded mode, no replacement scheduling")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -147,6 +153,11 @@ func main() {
 		sys.UseAnalyticModels()
 	}
 
+	if *doChaos {
+		runChaosLoop(sys, app, rates, *chaosWin, *duration, *seed, *chaosNaive)
+		return
+	}
+
 	plan, err := sys.Plan(rates)
 	if err != nil {
 		log.Fatal(err)
@@ -218,5 +229,73 @@ func main() {
 			fmt.Printf("  %-20s SLA %6.1fms  P95 %8.2fms  violations %5.2f%%\n",
 				svc, app.SLAs[svc].Threshold, res.TailLatency[svc], 100*res.Violations[svc])
 		}
+	}
+}
+
+// runChaosLoop generates the standard fault schedule for the cluster, binds
+// it to the orchestrator, and drives the reconciler window by window,
+// printing what was injected and how the loop coped.
+func runChaosLoop(sys *erms.System, app *erms.App, rates map[string]float64,
+	windows int, windowMin float64, seed uint64, naive bool) {
+	ctrl := sys.Controller()
+	cfg := chaos.Default(seed, windows, windowMin, ctrl.Orch.Cluster().NumHosts(), app.Microservices())
+	sched, err := chaos.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj := chaos.NewInjector(sched, ctrl.Orch)
+
+	rec := sys.NewReconciler()
+	rec.WindowMin = windowMin
+	if windowMin < 1 {
+		rec.WarmupMin = windowMin / 4
+	}
+	rec.Chaos = inj
+	mode := "resilient"
+	if naive {
+		rec.Naive()
+		mode = "naive"
+	}
+
+	fmt.Printf("chaos run: %s, %d windows x %.1f min, seed %d, %s loop\n",
+		app.Name, windows, windowMin, seed, mode)
+	fmt.Printf("schedule: %d faults\n\n", len(sched.Faults))
+	fmt.Printf("%-4s %-28s %10s %8s %7s %7s  %s\n",
+		"win", "faults", "containers", "repaired", "retries", "viol", "flags")
+	for w := 0; w < windows; w++ {
+		if _, err := inj.BeginWindow(w); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rec.Step(rates, seed+uint64(w)*101+7)
+		if err != nil {
+			fmt.Printf("%-4d %-28s control loop aborted: %v\n", w, sched.Summary(w), err)
+			if naive {
+				fmt.Println("\nnaive loop froze; rerun without -chaos-naive to see the resilient loop recover")
+				return
+			}
+			log.Fatal(err)
+		}
+		if err := inj.EndWindow(w); err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for _, v := range rep.Violations {
+			if v > worst {
+				worst = v
+			}
+		}
+		var flags []string
+		if rep.Degraded {
+			flags = append(flags, "degraded")
+		}
+		if rep.Outage {
+			flags = append(flags, "outage")
+		}
+		if rep.ObsGap {
+			flags = append(flags, "obs-gap")
+		}
+		fmt.Printf("%-4d %-28s %10d %8d %7d %7.3f  %s\n",
+			w, sched.Summary(w), rep.Containers, rep.Repaired, rep.Retries, worst,
+			strings.Join(flags, ","))
 	}
 }

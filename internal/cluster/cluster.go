@@ -79,7 +79,27 @@ type Host struct {
 	Background workload.Interference // colocated batch-job load (iBench substitute)
 
 	containers map[int]*Container
+	down       bool // failed: hosts nothing, schedules nothing
+	cordoned   bool // administratively unschedulable; existing containers keep running
 }
+
+// Down reports whether the host has failed.
+func (h *Host) Down() bool { return h.down }
+
+// SetDown marks the host failed (true) or recovered (false). Failing a host
+// does not remove its containers — the orchestrator owns that bookkeeping
+// (kube.Orchestrator.FailNode evicts and emits watch events).
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Cordoned reports whether the host is administratively unschedulable.
+func (h *Host) Cordoned() bool { return h.cordoned }
+
+// SetCordoned marks the host unschedulable for new placements. Running
+// containers are unaffected (drain moves them explicitly).
+func (h *Host) SetCordoned(cordoned bool) { h.cordoned = cordoned }
+
+// Schedulable reports whether new containers may be placed on the host.
+func (h *Host) Schedulable() bool { return !h.down && !h.cordoned }
 
 // Containers returns the containers placed on the host, ordered by ID.
 func (h *Host) Containers() []*Container {
@@ -135,9 +155,12 @@ func (h *Host) MemFreeMB() float64 {
 	return free
 }
 
-// Fits reports whether the host has room for the given container spec.
+// Fits reports whether the host can accept the given container spec: it must
+// be schedulable (not down, not cordoned) and have free capacity. Every
+// scheduler routes through Fits, so down and cordoned hosts are invisible to
+// placement without per-policy changes.
 func (h *Host) Fits(spec ContainerSpec) bool {
-	return h.CPUFree() >= spec.CPU && h.MemFreeMB() >= spec.MemMB
+	return h.Schedulable() && h.CPUFree() >= spec.CPU && h.MemFreeMB() >= spec.MemMB
 }
 
 // Cluster is a set of hosts with container placement state.
@@ -215,6 +238,9 @@ func (cl *Cluster) Place(spec ContainerSpec, hostID int) (*Container, error) {
 	if h == nil {
 		return nil, fmt.Errorf("cluster: no host %d", hostID)
 	}
+	if !h.Schedulable() {
+		return nil, fmt.Errorf("cluster: host %d is not schedulable (down=%v cordoned=%v)", hostID, h.down, h.cordoned)
+	}
 	if !h.Fits(spec) {
 		return nil, fmt.Errorf("cluster: host %d cannot fit container %s (cpu free %.2f, mem free %.0fMB)",
 			hostID, spec.Microservice, h.CPUFree(), h.MemFreeMB())
@@ -247,6 +273,9 @@ func (cl *Cluster) Containers() []*Container {
 	return out
 }
 
+// NumContainers returns the number of placed containers.
+func (cl *Cluster) NumContainers() int { return len(cl.containers) }
+
 // ContainersFor returns the containers of one microservice, ordered by ID.
 func (cl *Cluster) ContainersFor(microservice string) []*Container {
 	var out []*Container
@@ -270,23 +299,52 @@ func (cl *Cluster) CountFor(microservice string) int {
 	return n
 }
 
-// MeanCPUUtil returns the average host CPU utilization (§5.3.1 feeds this
-// into the profiling model).
-func (cl *Cluster) MeanCPUUtil() float64 {
-	var s float64
+// UpHosts returns the number of hosts that have not failed (cordoned hosts
+// count: they still run containers).
+func (cl *Cluster) UpHosts() int {
+	n := 0
 	for _, h := range cl.hosts {
-		s += h.CPUUtil()
+		if !h.down {
+			n++
+		}
 	}
-	return s / float64(len(cl.hosts))
+	return n
 }
 
-// MeanMemUtil returns the average host memory utilization.
+// MeanCPUUtil returns the average CPU utilization over live hosts (§5.3.1
+// feeds this into the profiling model). Failed hosts run nothing and are
+// excluded so a partial outage does not read as a cold cluster.
+func (cl *Cluster) MeanCPUUtil() float64 {
+	var s float64
+	n := 0
+	for _, h := range cl.hosts {
+		if h.down {
+			continue
+		}
+		s += h.CPUUtil()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// MeanMemUtil returns the average memory utilization over live hosts.
 func (cl *Cluster) MeanMemUtil() float64 {
 	var s float64
+	n := 0
 	for _, h := range cl.hosts {
+		if h.down {
+			continue
+		}
 		s += h.MemUtil()
+		n++
 	}
-	return s / float64(len(cl.hosts))
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
 }
 
 // Imbalance returns the resource-unbalance objective of §5.4: the sum over
@@ -296,6 +354,9 @@ func (cl *Cluster) Imbalance() float64 {
 	mc, mm := cl.MeanCPUUtil(), cl.MeanMemUtil()
 	var s float64
 	for _, h := range cl.hosts {
+		if h.down {
+			continue
+		}
 		dc := h.CPUUtil() - mc
 		dm := h.MemUtil() - mm
 		s += dc*dc + dm*dm

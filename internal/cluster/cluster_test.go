@@ -235,3 +235,93 @@ func TestHostInflationMatchesUtil(t *testing.T) {
 		t.Fatalf("host inflation %v != %v", got, want)
 	}
 }
+
+func TestRemoveRestoresUtilization(t *testing.T) {
+	cl := New(2, PaperHost)
+	cl.SetBackground(0, workload.Interference{CPU: 0.2, Mem: 0.1})
+	h := cl.Host(0)
+	cpuFree0, memFree0 := h.CPUFree(), h.MemFreeMB()
+	cpuUtil0, memUtil0 := h.CPUUtil(), h.MemUtil()
+
+	c1, err := cl.Place(PaperContainer("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cl.Place(PaperContainer("b"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured usage above the request must not leak into free-capacity
+	// accounting after removal.
+	c1.SetCPUUsage(2.5)
+	if h.CPUFree() >= cpuFree0 || h.MemFreeMB() >= memFree0 {
+		t.Fatal("placement did not consume capacity")
+	}
+
+	if err := cl.Remove(c1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove(c2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CPUFree(); math.Abs(got-cpuFree0) > 1e-9 {
+		t.Fatalf("CPUFree after remove = %v, want %v", got, cpuFree0)
+	}
+	if got := h.MemFreeMB(); math.Abs(got-memFree0) > 1e-9 {
+		t.Fatalf("MemFreeMB after remove = %v, want %v", got, memFree0)
+	}
+	if got := h.CPUUtil(); math.Abs(got-cpuUtil0) > 1e-9 {
+		t.Fatalf("CPUUtil after remove = %v, want %v", got, cpuUtil0)
+	}
+	if got := h.MemUtil(); math.Abs(got-memUtil0) > 1e-9 {
+		t.Fatalf("MemUtil after remove = %v, want %v", got, memUtil0)
+	}
+	if cl.NumContainers() != 0 {
+		t.Fatalf("containers left: %d", cl.NumContainers())
+	}
+}
+
+func TestDownAndCordonedHostsRejectPlacement(t *testing.T) {
+	cl := New(2, PaperHost)
+	h := cl.Host(0)
+	spec := PaperContainer("a")
+	if !h.Fits(spec) {
+		t.Fatal("healthy empty host should fit")
+	}
+	h.SetCordoned(true)
+	if h.Fits(spec) || h.Schedulable() {
+		t.Fatal("cordoned host should not fit")
+	}
+	if _, err := cl.Place(spec, 0); err == nil {
+		t.Fatal("placement on cordoned host accepted")
+	}
+	h.SetCordoned(false)
+	h.SetDown(true)
+	if h.Fits(spec) || h.Schedulable() {
+		t.Fatal("down host should not fit")
+	}
+	if _, err := cl.Place(spec, 0); err == nil {
+		t.Fatal("placement on down host accepted")
+	}
+	h.SetDown(false)
+	if _, err := cl.Place(spec, 0); err != nil {
+		t.Fatalf("recovered host rejects placement: %v", err)
+	}
+}
+
+func TestDownHostsExcludedFromMeans(t *testing.T) {
+	cl := New(2, PaperHost)
+	cl.SetBackground(0, workload.Interference{CPU: 0.8, Mem: 0.8})
+	cl.SetBackground(1, workload.Interference{CPU: 0.2, Mem: 0.2})
+	cl.Host(0).SetDown(true)
+	if got := cl.MeanCPUUtil(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("mean CPU with host 0 down = %v, want 0.2", got)
+	}
+	if got := cl.UpHosts(); got != 1 {
+		t.Fatalf("up hosts = %d", got)
+	}
+	cl.Host(1).SetDown(true)
+	if got := cl.MeanCPUUtil(); got != 0 {
+		t.Fatalf("mean CPU with all hosts down = %v", got)
+	}
+}

@@ -191,17 +191,50 @@ func (c *Controller) Explain(service string, rates map[string]float64) (string, 
 	return scaling.Explain(in)
 }
 
-// Apply reconciles the plan onto the cluster through the orchestrator,
-// then lets Resource Provisioning smooth imbalance.
+// Apply reconciles the plan onto the cluster through the orchestrator with
+// atomic-or-rollback semantics: either every microservice reaches its
+// planned count, or the deployment is restored to its pre-apply replica
+// counts (microservices created by this apply are deleted again) and the
+// original error is returned. A mid-apply failure therefore never leaves the
+// orchestrator halfway between two plans.
 func (c *Controller) Apply(plan *multiplex.Plan) error {
 	names := make([]string, 0, len(plan.Containers))
 	for ms := range plan.Containers {
 		names = append(names, ms)
 	}
 	sort.Strings(names)
+	type prior struct {
+		existed  bool
+		replicas int
+	}
+	snap := make(map[string]prior, len(names))
 	for _, ms := range names {
+		d, ok := c.Orch.Deployment(ms)
+		snap[ms] = prior{existed: ok, replicas: d.Replicas}
+	}
+	for i, ms := range names {
 		if err := c.Orch.Apply(c.App.Containers[ms], plan.Containers[ms]); err != nil {
-			return fmt.Errorf("core: applying %s: %w", ms, err)
+			// Roll back everything touched so far, including the partial
+			// progress of the failed microservice. Rollback only deletes or
+			// scales toward prior counts; a scale-up back to a prior count can
+			// itself fail on a degraded cluster, which we fold into the error.
+			var rbErr error
+			for j := i; j >= 0; j-- {
+				p := snap[names[j]]
+				var e error
+				if !p.existed {
+					e = c.Orch.Delete(names[j])
+				} else {
+					e = c.Orch.Scale(names[j], p.replicas)
+				}
+				if e != nil && rbErr == nil {
+					rbErr = e
+				}
+			}
+			if rbErr != nil {
+				return fmt.Errorf("core: applying %s: %w (rollback incomplete: %v)", ms, err, rbErr)
+			}
+			return fmt.Errorf("core: applying %s: %w (rolled back)", ms, err)
 		}
 	}
 	metrics.CollectCluster(c.Metrics, c.Orch.Cluster(), 0)
@@ -242,11 +275,29 @@ func (c *Controller) Evaluate(rates map[string]float64, durationMin, warmupMin f
 	return c.EvaluatePlan(plan, rates, durationMin, warmupMin, seed)
 }
 
+// EvalOpts carries fault-injection inputs for one evaluation window.
+type EvalOpts struct {
+	// Failures are container/host outages injected into the window's
+	// simulation (times relative to the window start).
+	Failures []sim.Failure
+	// DropMinutes are window minutes whose metrics and traces are lost.
+	DropMinutes []int
+}
+
 // EvaluatePlan applies a precomputed plan and simulates it.
 func (c *Controller) EvaluatePlan(plan *multiplex.Plan, rates map[string]float64, durationMin, warmupMin float64, seed uint64) (*EvalResult, error) {
 	if err := c.Apply(plan); err != nil {
 		return nil, err
 	}
+	return c.EvaluateDeployed(plan, rates, durationMin, warmupMin, seed, EvalOpts{})
+}
+
+// EvaluateDeployed simulates the *current* deployment (it does not apply the
+// plan, which is used only for priorities and container accounting) with the
+// given fault-injection options. The resilient control loop uses this after
+// its own apply phase, so a degraded window can still be measured even when
+// applying a fresh plan failed.
+func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]float64, durationMin, warmupMin float64, seed uint64, opts EvalOpts) (*EvalResult, error) {
 	patterns := make(map[string]workload.Pattern, len(rates))
 	for svc, r := range rates {
 		patterns[svc] = workload.Static{Rate: r}
@@ -265,6 +316,8 @@ func (c *Controller) EvaluatePlan(plan *multiplex.Plan, rates map[string]float64
 		WarmupMin:      warmupMin,
 		NetworkDelayMs: 0.05,
 		Observer:       c.Coordinator,
+		Failures:       opts.Failures,
+		DropMinutes:    opts.DropMinutes,
 	}
 	rt, err := sim.NewRuntime(cfg)
 	if err != nil {

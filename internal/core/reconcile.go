@@ -6,6 +6,8 @@ import (
 
 	"erms/internal/multiplex"
 	"erms/internal/provision"
+	"erms/internal/sim"
+	"erms/internal/stats"
 	"erms/internal/workload"
 )
 
@@ -13,6 +15,14 @@ import (
 // observes the workload, re-runs Online Scaling, reconciles the deployment
 // (with scale-down hysteresis to avoid container churn), and measures the
 // window's real behaviour in the simulator.
+//
+// The loop is resilient by default: replacement scheduling re-places
+// containers lost to failed hosts before planning, transient plan/apply
+// failures are retried with deterministic exponential backoff, and a window
+// whose planning fails outright falls back to the last good plan instead of
+// aborting the run (degraded mode). Plan application is atomic-or-rollback
+// (Controller.Apply), so a failed window never leaves the orchestrator
+// halfway between two plans.
 type Reconciler struct {
 	C *Controller
 	// WindowMin is the scaling interval in simulated minutes. Default 1.5.
@@ -29,7 +39,45 @@ type Reconciler struct {
 	// utilization imbalance (§5.4). 0 disables rebalancing.
 	RebalanceMoves int
 
-	history []WindowReport
+	// MaxRetries bounds re-attempts of a failed plan or apply within one
+	// window. 0 disables retrying (the naive loop). Default 2.
+	MaxRetries int
+	// BackoffMin is the base of the exponential backoff between retries in
+	// simulated minutes: attempt k waits BackoffMin·2^k·(1+jitter), with
+	// jitter drawn deterministically from the window's seed. The accumulated
+	// delay is recorded in the WindowReport (the loop runs in simulated
+	// time, so nothing sleeps). Default 0.05.
+	BackoffMin float64
+	// BackoffJitter scales the seed-driven jitter fraction. Default 0.5.
+	BackoffJitter float64
+	// ReuseLastPlan enables degraded mode: when planning (or applying) still
+	// fails after MaxRetries, the window runs on the last successfully
+	// applied plan instead of aborting. Default true.
+	ReuseLastPlan bool
+	// RepairLost enables replacement scheduling: before planning, containers
+	// lost to failed hosts are re-placed up to each deployment's desired
+	// replica count. Default true.
+	RepairLost bool
+	// Chaos, when non-nil, injects faults into the loop: transient
+	// control-plane operation errors, per-window container/host outages for
+	// the simulation, and observability gaps. Implemented by chaos.Injector.
+	Chaos ChaosHook
+
+	history  []WindowReport
+	lastPlan *multiplex.Plan
+}
+
+// ChaosHook is the fault-injection surface the loop consults each window.
+type ChaosHook interface {
+	// OpError returns a transient error for the named control-plane
+	// operation ("plan", "apply") at the given window and attempt, or nil.
+	OpError(window int, op string, attempt int) error
+	// WindowFailures returns the container/host outages to inject into the
+	// window's simulation (times relative to the window start).
+	WindowFailures(window int) []sim.Failure
+	// ObservabilityGap reports whether the window's metrics and traces are
+	// dropped before reaching the control plane.
+	ObservabilityGap(window int) bool
 }
 
 // WindowReport summarizes one reconciliation window.
@@ -42,11 +90,43 @@ type WindowReport struct {
 	// ScaledUp / ScaledDown count the microservices that changed.
 	ScaledUp   int
 	ScaledDown int
+	// Repaired counts replacement containers placed for hosts lost to
+	// failures before this window's planning.
+	Repaired int
+	// Retries counts failed plan/apply attempts that were retried.
+	Retries int
+	// BackoffMin is the simulated time spent backing off between retries.
+	BackoffMin float64
+	// Degraded marks a window that ran on the last good plan because
+	// planning or applying failed past the retry budget.
+	Degraded bool
+	// Outage marks a window that could not be measured at all (for example,
+	// a microservice with zero live containers); its Violations are pinned
+	// to 1 for every service — requests had nowhere to go.
+	Outage bool
+	// ObsGap marks a window whose metric/trace samples were dropped by an
+	// observability fault; end-to-end results are still measured.
+	ObsGap bool
 }
 
-// NewReconciler wraps a controller with default loop parameters.
+// NewReconciler wraps a controller with default loop parameters (resilience
+// enabled).
 func NewReconciler(c *Controller) *Reconciler {
-	return &Reconciler{C: c, WindowMin: 1.5, WarmupMin: 0.3, DownscaleSlack: 0.15}
+	return &Reconciler{
+		C: c, WindowMin: 1.5, WarmupMin: 0.3, DownscaleSlack: 0.15,
+		MaxRetries: 2, BackoffMin: 0.05, BackoffJitter: 0.5,
+		ReuseLastPlan: true, RepairLost: true,
+	}
+}
+
+// Naive disables every resilience mechanism (no retry, no degraded mode, no
+// replacement scheduling) — the pre-fault-model loop that aborts on the
+// first error, kept as the experimental baseline.
+func (r *Reconciler) Naive() *Reconciler {
+	r.MaxRetries = 0
+	r.ReuseLastPlan = false
+	r.RepairLost = false
+	return r
 }
 
 // History returns the reports of all completed windows.
@@ -56,9 +136,17 @@ func (r *Reconciler) History() []WindowReport {
 	return out
 }
 
+// LastPlan returns the most recently applied plan (nil before the first
+// successful window).
+func (r *Reconciler) LastPlan() *multiplex.Plan { return r.lastPlan }
+
 // applyWithHysteresis merges the new plan with the current deployment:
-// scale-ups apply immediately, scale-downs only past the slack.
+// scale-ups apply immediately, scale-downs only past the slack. The adjusted
+// counts are computed on the side and committed into plan.Containers only
+// after the (atomic-or-rollback) apply succeeds, so a mid-apply failure
+// leaves both the orchestrator and the plan exactly as they were.
 func (r *Reconciler) applyWithHysteresis(plan *multiplex.Plan) (up, down int, err error) {
+	adjusted := make(map[string]int, len(plan.Containers))
 	for ms, want := range plan.Containers {
 		cur := r.C.Orch.Replicas(ms)
 		switch {
@@ -66,44 +154,159 @@ func (r *Reconciler) applyWithHysteresis(plan *multiplex.Plan) (up, down int, er
 			up++
 		case want < cur:
 			if float64(cur-want) <= r.DownscaleSlack*float64(cur) {
-				plan.Containers[ms] = cur // hold: inside the slack band
+				adjusted[ms] = cur // hold: inside the slack band
 				continue
 			}
 			down++
 		}
+		adjusted[ms] = want
 	}
-	return up, down, r.C.Apply(plan)
+	tmp := *plan
+	tmp.Containers = adjusted
+	if err := r.C.Apply(&tmp); err != nil {
+		return 0, 0, err
+	}
+	plan.Containers = adjusted
+	return up, down, nil
 }
 
-// Step runs one window at the given observed rates.
+// opError consults the chaos hook for an injected control-plane fault.
+func (r *Reconciler) opError(window int, op string, attempt int) error {
+	if r.Chaos == nil {
+		return nil
+	}
+	return r.Chaos.OpError(window, op, attempt)
+}
+
+// withRetry runs op up to 1+MaxRetries times, accumulating deterministic
+// exponential backoff (in simulated minutes) into the report.
+func (r *Reconciler) withRetry(window int, op string, rng *stats.RNG, rep *WindowReport, f func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := r.opError(window, op, attempt)
+		if err == nil {
+			err = f()
+		}
+		if err == nil {
+			return nil
+		}
+		if attempt >= r.MaxRetries {
+			return err
+		}
+		rep.Retries++
+		backoff := r.BackoffMin * float64(uint(1)<<uint(attempt))
+		if r.BackoffJitter > 0 {
+			backoff *= 1 + r.BackoffJitter*rng.Float64()
+		}
+		rep.BackoffMin += backoff
+	}
+}
+
+// clonePlan copies a plan deeply enough for the loop's mutation (the
+// container counts); targets, ranks and per-service allocations are shared.
+func clonePlan(p *multiplex.Plan) *multiplex.Plan {
+	cp := *p
+	cp.Containers = make(map[string]int, len(p.Containers))
+	for ms, n := range p.Containers {
+		cp.Containers[ms] = n
+	}
+	return &cp
+}
+
+// Step runs one window at the given observed rates. Configuration errors
+// (nil controller, missing models on the first window with no fallback plan)
+// still return an error; transient planning/apply failures do not abort the
+// loop once a good plan exists.
 func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport, error) {
 	if r.C == nil {
 		return nil, errors.New("core: reconciler without controller")
 	}
-	plan, err := r.C.Plan(rates)
-	if err != nil {
-		return nil, fmt.Errorf("core: reconcile plan: %w", err)
+	w := len(r.history)
+	// Jitter stream: derived from the window seed only, so a run is
+	// reproducible from its seeds regardless of wall-clock interleaving.
+	rng := stats.NewRNG(seed ^ 0xc4ce5f8a5c8ff3eb)
+	report := WindowReport{Window: w, Rates: rates}
+
+	// Replacement scheduling: converge live containers back to desired
+	// replicas before planning, so the planner sees the true capacity.
+	if r.RepairLost {
+		replaced, _ := r.C.Orch.Repair() // best-effort; a degraded cluster plans with what it has
+		report.Repaired = replaced
 	}
-	up, down, err := r.applyWithHysteresis(plan)
+
+	plan := (*multiplex.Plan)(nil)
+	err := r.withRetry(w, "plan", rng, &report, func() error {
+		p, e := r.C.Plan(rates)
+		if e == nil {
+			plan = p
+		}
+		return e
+	})
 	if err != nil {
+		if !r.ReuseLastPlan || r.lastPlan == nil {
+			return nil, fmt.Errorf("core: reconcile plan: %w", err)
+		}
+		plan = clonePlan(r.lastPlan)
+		report.Degraded = true
+	}
+
+	up, down := 0, 0
+	err = r.withRetry(w, "apply", rng, &report, func() error {
+		u, d, e := r.applyWithHysteresis(plan)
+		if e == nil {
+			up, down = u, d
+		}
+		return e
+	})
+	switch {
+	case err == nil:
+		report.ScaledUp, report.ScaledDown = up, down
+		r.lastPlan = plan
+	case r.ReuseLastPlan:
+		// Apply failed past the retry budget (rollback already restored the
+		// previous deployment). Run the window on whatever is deployed.
+		report.Degraded = true
+		if r.lastPlan != nil {
+			plan = r.lastPlan
+		}
+	default:
 		return nil, err
 	}
+
 	if r.RebalanceMoves > 0 {
 		provision.Rebalance(r.C.Orch.Cluster(), r.RebalanceMoves)
 	}
-	res, err := r.C.EvaluatePlan(plan, rates, r.WindowMin, r.WarmupMin, seed)
+
+	var opts EvalOpts
+	if r.Chaos != nil {
+		opts.Failures = r.Chaos.WindowFailures(w)
+		if r.Chaos.ObservabilityGap(w) {
+			report.ObsGap = true
+			for m := 0; m < int(r.WindowMin)+1; m++ {
+				opts.DropMinutes = append(opts.DropMinutes, m)
+			}
+		}
+	}
+	res, err := r.C.EvaluateDeployed(plan, rates, r.WindowMin, r.WarmupMin, seed, opts)
 	if err != nil {
-		return nil, err
+		if !r.ReuseLastPlan {
+			return nil, err
+		}
+		// The window cannot be measured — typically a microservice with zero
+		// live containers on a degraded cluster. Count it as a full outage:
+		// every service's requests had nowhere to go.
+		report.Outage = true
+		report.Violations = make(map[string]float64, len(r.C.App.Graphs))
+		report.TailLatency = make(map[string]float64)
+		for _, g := range r.C.App.Graphs {
+			report.Violations[g.Service] = 1
+		}
+		report.Containers = r.C.Orch.Cluster().NumContainers()
+		r.history = append(r.history, report)
+		return &report, nil
 	}
-	report := WindowReport{
-		Window:      len(r.history),
-		Rates:       rates,
-		Containers:  plan.TotalContainers(),
-		Violations:  res.Violations,
-		TailLatency: res.TailLatency,
-		ScaledUp:    up,
-		ScaledDown:  down,
-	}
+	report.Containers = plan.TotalContainers()
+	report.Violations = res.Violations
+	report.TailLatency = res.TailLatency
 	r.history = append(r.history, report)
 	return &report, nil
 }

@@ -7,7 +7,6 @@
 package kube
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -113,6 +112,20 @@ const (
 	EventScaleUp
 	EventScaleDown
 	EventDelete
+	// EventCordon / EventUncordon toggle a node's schedulability.
+	EventCordon
+	EventUncordon
+	// EventDrain reports containers migrated off a node.
+	EventDrain
+	// EventNodeFail reports a node failure; Delta is the (negative) number of
+	// containers lost with it.
+	EventNodeFail
+	// EventNodeRecover reports a failed node rejoining the cluster.
+	EventNodeRecover
+	// EventRepair reports replacement containers placed for a deployment that
+	// had fewer live containers than desired replicas (e.g. after a node
+	// failure).
+	EventRepair
 )
 
 func (t EventType) String() string {
@@ -125,6 +138,18 @@ func (t EventType) String() string {
 		return "scale-down"
 	case EventDelete:
 		return "delete"
+	case EventCordon:
+		return "cordon"
+	case EventUncordon:
+		return "uncordon"
+	case EventDrain:
+		return "drain"
+	case EventNodeFail:
+		return "node-fail"
+	case EventNodeRecover:
+		return "node-recover"
+	case EventRepair:
+		return "repair"
 	default:
 		return "unknown"
 	}
@@ -138,6 +163,9 @@ type Event struct {
 	Delta int
 	// Replicas is the resulting replica count.
 	Replicas int
+	// Host identifies the node for node-scoped events (cordon, drain,
+	// node-fail, node-recover); -1 otherwise.
+	Host int
 }
 
 // Deployment tracks the desired state of one microservice.
@@ -195,13 +223,13 @@ func (o *Orchestrator) Apply(spec cluster.ContainerSpec, replicas int) error {
 		return err
 	}
 	if replicas < 0 {
-		return errors.New("kube: negative replica count")
+		return fmt.Errorf("kube: negative replica count %d for %s", replicas, spec.Microservice)
 	}
 	d, ok := o.deployments[spec.Microservice]
 	if !ok {
 		d = &Deployment{Spec: spec}
 		o.deployments[spec.Microservice] = d
-		o.emit(Event{Type: EventCreate, Microservice: spec.Microservice})
+		o.emit(Event{Type: EventCreate, Microservice: spec.Microservice, Host: -1})
 	} else {
 		d.Spec = spec
 	}
@@ -216,7 +244,7 @@ func (o *Orchestrator) Scale(microservice string, replicas int) error {
 		return fmt.Errorf("kube: unknown deployment %s", microservice)
 	}
 	if replicas < 0 {
-		return errors.New("kube: negative replica count")
+		return fmt.Errorf("kube: negative replica count %d for %s", replicas, microservice)
 	}
 	current := o.cl.CountFor(microservice)
 	switch {
@@ -233,7 +261,7 @@ func (o *Orchestrator) Scale(microservice string, replicas int) error {
 			}
 		}
 		d.Replicas = replicas
-		o.emit(Event{Type: EventScaleUp, Microservice: microservice, Delta: replicas - current, Replicas: replicas})
+		o.emit(Event{Type: EventScaleUp, Microservice: microservice, Delta: replicas - current, Replicas: replicas, Host: -1})
 	case replicas < current:
 		for i := current; i > replicas; i-- {
 			victim, err := o.sched.Evict(o.cl, microservice)
@@ -247,7 +275,7 @@ func (o *Orchestrator) Scale(microservice string, replicas int) error {
 			}
 		}
 		d.Replicas = replicas
-		o.emit(Event{Type: EventScaleDown, Microservice: microservice, Delta: replicas - current, Replicas: replicas})
+		o.emit(Event{Type: EventScaleDown, Microservice: microservice, Delta: replicas - current, Replicas: replicas, Host: -1})
 	default:
 		d.Replicas = replicas
 	}
@@ -263,7 +291,7 @@ func (o *Orchestrator) Delete(microservice string) error {
 		return err
 	}
 	delete(o.deployments, microservice)
-	o.emit(Event{Type: EventDelete, Microservice: microservice})
+	o.emit(Event{Type: EventDelete, Microservice: microservice, Host: -1})
 	return nil
 }
 
@@ -293,4 +321,146 @@ func (o *Orchestrator) TotalReplicas() int {
 		t += d.Replicas
 	}
 	return t
+}
+
+// Deployment returns a copy of the named deployment's desired state.
+func (o *Orchestrator) Deployment(microservice string) (Deployment, bool) {
+	d, ok := o.deployments[microservice]
+	if !ok {
+		return Deployment{}, false
+	}
+	return *d, true
+}
+
+// Cordon marks a node unschedulable: running containers stay, new placements
+// skip it.
+func (o *Orchestrator) Cordon(hostID int) error {
+	h := o.cl.Host(hostID)
+	if h == nil {
+		return fmt.Errorf("kube: no host %d", hostID)
+	}
+	if h.Cordoned() {
+		return nil
+	}
+	h.SetCordoned(true)
+	o.emit(Event{Type: EventCordon, Host: hostID})
+	return nil
+}
+
+// Uncordon makes a cordoned node schedulable again.
+func (o *Orchestrator) Uncordon(hostID int) error {
+	h := o.cl.Host(hostID)
+	if h == nil {
+		return fmt.Errorf("kube: no host %d", hostID)
+	}
+	if !h.Cordoned() {
+		return nil
+	}
+	h.SetCordoned(false)
+	o.emit(Event{Type: EventUncordon, Host: hostID})
+	return nil
+}
+
+// Drain cordons a node and migrates its containers to other hosts through
+// the scheduler. A container that fits nowhere else stops the drain with an
+// error; containers already moved stay moved (the node remains cordoned).
+func (o *Orchestrator) Drain(hostID int) error {
+	h := o.cl.Host(hostID)
+	if h == nil {
+		return fmt.Errorf("kube: no host %d", hostID)
+	}
+	if err := o.Cordon(hostID); err != nil {
+		return err
+	}
+	moved := 0
+	for _, c := range h.Containers() {
+		dst, err := o.sched.Place(o.cl, c.Spec)
+		if err != nil {
+			return fmt.Errorf("kube: draining host %d after %d moves: %w", hostID, moved, err)
+		}
+		if err := o.cl.Remove(c.ID); err != nil {
+			return err
+		}
+		if _, err := o.cl.Place(c.Spec, dst); err != nil {
+			return err
+		}
+		moved++
+	}
+	o.emit(Event{Type: EventDrain, Host: hostID, Delta: moved})
+	return nil
+}
+
+// FailNode takes a node down hard: its containers are lost immediately (no
+// graceful migration) and the node stops accepting placements. Desired
+// replica counts are untouched — deployments are left under-replicated until
+// Repair (or the next Scale) places replacements, mirroring how a Kubernetes
+// deployment converges after kubelet loss.
+func (o *Orchestrator) FailNode(hostID int) error {
+	h := o.cl.Host(hostID)
+	if h == nil {
+		return fmt.Errorf("kube: no host %d", hostID)
+	}
+	if h.Down() {
+		return nil
+	}
+	lost := h.Containers()
+	for _, c := range lost {
+		if err := o.cl.Remove(c.ID); err != nil {
+			return err
+		}
+	}
+	h.SetDown(true)
+	o.emit(Event{Type: EventNodeFail, Host: hostID, Delta: -len(lost)})
+	return nil
+}
+
+// RecoverNode brings a failed node back as an empty, schedulable host.
+func (o *Orchestrator) RecoverNode(hostID int) error {
+	h := o.cl.Host(hostID)
+	if h == nil {
+		return fmt.Errorf("kube: no host %d", hostID)
+	}
+	if !h.Down() {
+		return nil
+	}
+	h.SetDown(false)
+	o.emit(Event{Type: EventNodeRecover, Host: hostID})
+	return nil
+}
+
+// Repair places replacement containers for every deployment whose live
+// container count fell below its desired replicas (containers lost to failed
+// nodes). It proceeds best-effort across deployments in sorted order and
+// returns how many replacements were placed plus the first placement error,
+// if any (a cluster too degraded to hold the full desired state).
+func (o *Orchestrator) Repair() (int, error) {
+	names := make([]string, 0, len(o.deployments))
+	for name := range o.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	replaced := 0
+	var firstErr error
+	for _, ms := range names {
+		d := o.deployments[ms]
+		placed := 0
+		for o.cl.CountFor(ms) < d.Replicas {
+			host, err := o.sched.Place(o.cl, d.Spec)
+			if err == nil {
+				_, err = o.cl.Place(d.Spec, host)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("kube: repairing %s: %w", ms, err)
+				}
+				break
+			}
+			placed++
+		}
+		if placed > 0 {
+			replaced += placed
+			o.emit(Event{Type: EventRepair, Microservice: ms, Delta: placed, Replicas: d.Replicas, Host: -1})
+		}
+	}
+	return replaced, firstErr
 }

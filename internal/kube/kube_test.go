@@ -1,6 +1,7 @@
 package kube
 
 import (
+	"strings"
 	"testing"
 
 	"erms/internal/cluster"
@@ -237,5 +238,248 @@ func TestBlindSpreadNoFit(t *testing.T) {
 	cl.SetBackground(0, workload.Interference{CPU: 1})
 	if _, err := (BlindSpread{}).Place(cl, cluster.PaperContainer("a")); err == nil {
 		t.Fatal("full cluster accepted")
+	}
+}
+
+func TestScaleRejectsNegativeReplicas(t *testing.T) {
+	o := newOrch(2)
+	if err := o.Apply(cluster.PaperContainer("a"), 2); err != nil {
+		t.Fatal(err)
+	}
+	err := o.Scale("a", -3)
+	if err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	if !strings.Contains(err.Error(), "-3") || !strings.Contains(err.Error(), "a") {
+		t.Fatalf("error %q should name the count and the deployment", err)
+	}
+	if o.Replicas("a") != 2 || o.Cluster().CountFor("a") != 2 {
+		t.Fatal("failed scale mutated state")
+	}
+	if err := o.Apply(cluster.PaperContainer("b"), -1); err == nil || !strings.Contains(err.Error(), "-1") {
+		t.Fatalf("apply with negative replicas: %v", err)
+	}
+}
+
+func TestScaleDownLastReplicaAndDelete(t *testing.T) {
+	o := newOrch(2)
+	if err := o.Apply(cluster.PaperContainer("a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the last replica keeps the deployment object around at 0.
+	if err := o.Scale("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if o.Cluster().CountFor("a") != 0 {
+		t.Fatal("last replica not evicted")
+	}
+	if d, ok := o.Deployment("a"); !ok || d.Replicas != 0 {
+		t.Fatalf("deployment after scale-to-zero: %+v ok=%v", d, ok)
+	}
+	// Scaling an empty deployment back up works.
+	if err := o.Scale("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o.Deployment("a"); ok {
+		t.Fatal("deployment survived delete")
+	}
+	if err := o.Delete("missing"); err == nil {
+		t.Fatal("deleting unknown deployment accepted")
+	}
+}
+
+func TestWatchEventOrderingApplyScaleDelete(t *testing.T) {
+	o := newOrch(2)
+	var events []Event
+	o.Watch(func(e Event) { events = append(events, e) })
+	o.Apply(cluster.PaperContainer("a"), 4)
+	o.Scale("a", 1)
+	o.Delete("a")
+	want := []EventType{EventCreate, EventScaleUp, EventScaleDown, EventScaleDown, EventDelete}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i, e := range events {
+		if e.Type != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, e.Type, want[i])
+		}
+		if e.Host != -1 {
+			t.Fatalf("deployment event %v has host %d, want -1", e.Type, e.Host)
+		}
+	}
+	// The delete's implicit scale-to-zero precedes the delete event.
+	if events[3].Replicas != 0 || events[3].Delta != -1 {
+		t.Fatalf("pre-delete scale-down = %+v", events[3])
+	}
+}
+
+func TestCordonUncordon(t *testing.T) {
+	o := newOrch(2)
+	var events []Event
+	o.Watch(func(e Event) { events = append(events, e) })
+	if err := o.Cordon(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Cordon(0); err != nil { // idempotent, no second event
+		t.Fatal(err)
+	}
+	if err := o.Apply(cluster.PaperContainer("a"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Cluster().Host(0).Containers()); got != 0 {
+		t.Fatalf("cordoned host received %d containers", got)
+	}
+	if err := o.Uncordon(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Scale("a", 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Cluster().Host(0).Containers()); got == 0 {
+		t.Fatal("uncordoned host still skipped")
+	}
+	var types []EventType
+	for _, e := range events {
+		if e.Type == EventCordon || e.Type == EventUncordon {
+			types = append(types, e.Type)
+		}
+	}
+	if len(types) != 2 || types[0] != EventCordon || types[1] != EventUncordon {
+		t.Fatalf("cordon events = %v, want exactly one cordon then one uncordon", types)
+	}
+	if err := o.Cordon(99); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestDrainMigratesContainers(t *testing.T) {
+	o := newOrch(2)
+	if err := o.Apply(cluster.PaperContainer("a"), 4); err != nil {
+		t.Fatal(err)
+	}
+	var drains []Event
+	o.Watch(func(e Event) {
+		if e.Type == EventDrain {
+			drains = append(drains, e)
+		}
+	})
+	moved := len(o.Cluster().Host(0).Containers())
+	if err := o.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Cluster().Host(0).Containers()); got != 0 {
+		t.Fatalf("host 0 still has %d containers after drain", got)
+	}
+	if got := o.Cluster().CountFor("a"); got != 4 {
+		t.Fatalf("containers lost in drain: %d", got)
+	}
+	if !o.Cluster().Host(0).Cordoned() {
+		t.Fatal("drained host not cordoned")
+	}
+	if len(drains) != 1 || drains[0].Host != 0 || drains[0].Delta != moved {
+		t.Fatalf("drain events = %+v, want one with delta %d", drains, moved)
+	}
+}
+
+func TestDrainFailsWithoutCapacity(t *testing.T) {
+	cl := cluster.New(2, cluster.HostSpec{Cores: 1, MemGB: 4})
+	o := New(cl, nil)
+	if err := o.Apply(cluster.PaperContainer("a"), 16); err != nil {
+		t.Fatal(err)
+	}
+	// Both hosts are near-full; host 1 cannot absorb host 0's containers.
+	if err := o.Drain(0); err == nil {
+		t.Fatal("drain without capacity should error")
+	}
+	if !cl.Host(0).Cordoned() {
+		t.Fatal("failed drain should leave the node cordoned")
+	}
+	if got := cl.CountFor("a"); got != 16 {
+		t.Fatalf("containers lost in failed drain: %d", got)
+	}
+}
+
+func TestFailNodeRecoverAndRepair(t *testing.T) {
+	o := newOrch(3)
+	if err := o.Apply(cluster.PaperContainer("a"), 6); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	o.Watch(func(e Event) { events = append(events, e) })
+	lost := len(o.Cluster().Host(1).Containers())
+	if lost == 0 {
+		t.Fatal("test needs containers on host 1")
+	}
+	if err := o.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.FailNode(1); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !o.Cluster().Host(1).Down() {
+		t.Fatal("host 1 not down")
+	}
+	if got := o.Cluster().CountFor("a"); got != 6-lost {
+		t.Fatalf("live containers = %d, want %d", got, 6-lost)
+	}
+	// Desired state is untouched: the deployment is under-replicated.
+	if o.Replicas("a") != 6 {
+		t.Fatalf("desired replicas changed to %d", o.Replicas("a"))
+	}
+
+	replaced, err := o.Repair()
+	if err != nil || replaced != lost {
+		t.Fatalf("Repair = (%d, %v), want (%d, nil)", replaced, err, lost)
+	}
+	if got := o.Cluster().CountFor("a"); got != 6 {
+		t.Fatalf("after repair: %d containers", got)
+	}
+	if got := len(o.Cluster().Host(1).Containers()); got != 0 {
+		t.Fatalf("repair placed %d containers on the down host", got)
+	}
+	// Converged: repair is a no-op.
+	if n, err := o.Repair(); n != 0 || err != nil {
+		t.Fatalf("second repair = (%d, %v)", n, err)
+	}
+
+	if err := o.RecoverNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Cluster().Host(1).Down() {
+		t.Fatal("host 1 still down after recovery")
+	}
+	if err := o.RecoverNode(1); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	var types []EventType
+	for _, e := range events {
+		switch e.Type {
+		case EventNodeFail, EventRepair, EventNodeRecover:
+			types = append(types, e.Type)
+		}
+	}
+	want := []EventType{EventNodeFail, EventRepair, EventNodeRecover}
+	if len(types) != len(want) {
+		t.Fatalf("fault events = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("fault events = %v, want %v", types, want)
+		}
+	}
+	if events[0].Delta != -lost {
+		t.Fatalf("node-fail delta = %d, want %d", events[0].Delta, -lost)
+	}
+}
+
+func TestNodeEventTypeStrings(t *testing.T) {
+	for _, et := range []EventType{EventCordon, EventUncordon, EventDrain, EventNodeFail, EventNodeRecover, EventRepair} {
+		if et.String() == "" || et.String() == "unknown" {
+			t.Fatalf("event type %d has no name", et)
+		}
 	}
 }

@@ -88,6 +88,11 @@ type Config struct {
 	// recovery). Queued requests are re-routed to surviving containers;
 	// in-flight requests complete.
 	Failures []Failure
+	// DropMinutes lists simulation minutes whose observability is lost: no
+	// MinuteSamples are recorded and no traces starting in those minutes
+	// reach the Observer (a collector outage / dropped metric windows). The
+	// simulation itself is unaffected — only what the control plane sees.
+	DropMinutes []int
 	// ClosedUsers switches the listed services to a closed-loop client
 	// population (wrk-style): each virtual user cycles request → think →
 	// request, so the offered rate self-throttles under saturation instead
@@ -99,12 +104,21 @@ type Config struct {
 	ThinkTimeMs float64
 }
 
-// Failure describes one injected container outage.
+// Failure describes one injected outage. Two scopes exist:
+//
+//   - Container scope (Microservice != ""): the Index-th container of the
+//     microservice (ID order) goes down at AtMin and optionally recovers.
+//   - Host scope (Microservice == ""): every container on host Host goes
+//     down at AtMin — the in-window shadow of a node failure. Recovery, if
+//     any, restores the same containers (a node rejoining before the control
+//     plane reacts).
 type Failure struct {
 	Microservice string
 	// Index selects which of the microservice's containers fails (by
-	// position in ID order).
+	// position in ID order). Ignored for host-scoped failures.
 	Index int
+	// Host selects the failing host for host-scoped failures.
+	Host int
 	// AtMin / RecoverMin are minutes since simulation start.
 	AtMin      float64
 	RecoverMin float64
@@ -245,6 +259,7 @@ type Runtime struct {
 	svcMSCalls map[string]map[string]int
 	warmMs     float64
 	rrNext     map[string]int
+	dropMin    map[int]bool
 
 	// jobFree recycles Job records: a job becomes unreachable as soon as its
 	// onServed callback has been taken in startJob's completion event, so the
@@ -296,10 +311,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		svcMSCalls: make(map[string]map[string]int),
 		warmMs:     cfg.WarmupMin * 60_000,
 		rrNext:     make(map[string]int),
+		dropMin:    make(map[int]bool, len(cfg.DropMinutes)),
 		result: &Result{
 			PerService:     make(map[string]*ServiceResult),
 			ServiceMSCalls: make(map[string]map[string]float64),
 		},
+	}
+	for _, m := range cfg.DropMinutes {
+		rt.dropMin[m] = true
 	}
 	for _, c := range cfg.Cluster.Containers() {
 		var pol Policy = FCFS{}
@@ -339,17 +358,33 @@ func (rt *Runtime) Run() *Result {
 
 	// Schedule injected container failures and recoveries.
 	for _, f := range rt.cfg.Failures {
-		states := rt.byMS[f.Microservice]
-		if f.Index < 0 || f.Index >= len(states) {
-			continue
+		var hit []*containerState
+		if f.Microservice == "" {
+			// Host scope: every container currently on the host. Containers()
+			// is ID-ordered, so the schedule is deterministic.
+			for _, c := range rt.cfg.Cluster.Containers() {
+				if c.Host.ID == f.Host {
+					if cs, ok := rt.states[c.ID]; ok {
+						hit = append(hit, cs)
+					}
+				}
+			}
+		} else {
+			states := rt.byMS[f.Microservice]
+			if f.Index < 0 || f.Index >= len(states) {
+				continue
+			}
+			hit = append(hit, states[f.Index])
 		}
-		cs := states[f.Index]
-		rt.eng.At(f.AtMin*60_000, func() { rt.failContainer(cs) })
-		if f.RecoverMin > f.AtMin {
-			rt.eng.At(f.RecoverMin*60_000, func() {
-				cs.down = false
-				rt.kick(cs)
-			})
+		for _, cs := range hit {
+			cs := cs
+			rt.eng.At(f.AtMin*60_000, func() { rt.failContainer(cs) })
+			if f.RecoverMin > f.AtMin {
+				rt.eng.At(f.RecoverMin*60_000, func() {
+					cs.down = false
+					rt.kick(cs)
+				})
+			}
 		}
 	}
 
@@ -358,7 +393,7 @@ func (rt *Runtime) Run() *Result {
 	firstMinute := int(math.Ceil(rt.cfg.WarmupMin))
 	for m := 0; m < int(rt.cfg.DurationMin); m++ {
 		m := m
-		rt.eng.At(float64(m+1)*60_000, func() { rt.flushMinute(m, m >= firstMinute) })
+		rt.eng.At(float64(m+1)*60_000, func() { rt.flushMinute(m, m >= firstMinute && !rt.dropMin[m]) })
 	}
 
 	// Run past the nominal end so in-flight requests complete.
@@ -410,6 +445,12 @@ func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) 
 	traceID := rt.nextTrace
 	sampled := rt.cfg.Observer != nil && rt.rng.Float64() < rt.cfg.SampleRate
 	t0 := rt.eng.Now()
+	if sampled && rt.dropMin[int(t0/60_000)] {
+		// Observability gap: the trace is lost before reaching the collector.
+		// The sampling draw above already consumed the RNG, so gaps do not
+		// perturb the random stream of the rest of the run.
+		sampled = false
+	}
 	svc := g.Service
 
 	rt.execNode(svc, traceID, sampled, g.Root, "", -1, 0, func() {

@@ -561,3 +561,83 @@ func TestClosedLoopValidation(t *testing.T) {
 		t.Fatalf("closed-loop config rejected: %v", err)
 	}
 }
+
+func TestHostScopedFailure(t *testing.T) {
+	// Two containers on two distinct hosts under heavy load; a host-scoped
+	// failure (empty Microservice) takes down exactly the containers of that
+	// host, halving capacity mid-run, and recovery restores them.
+	mk := func(failures []Failure) *ServiceResult {
+		cfg := singleMSConfig(t, 80_000, 2)
+		cfg.DurationMin = 3.5
+		cfg.WarmupMin = 0.5
+		var victim int
+		for _, c := range cfg.Cluster.Containers() {
+			if c.Host.ID == 1 {
+				victim++
+			}
+		}
+		if victim == 0 {
+			t.Fatal("test needs containers on host 1")
+		}
+		cfg.Failures = failures
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run().PerService["svc"]
+	}
+	sr := mk([]Failure{{Host: 1, AtMin: 1.5, RecoverMin: 2.5}})
+	if sr.Count == 0 {
+		t.Fatal("no requests measured")
+	}
+	healthy := mk(nil)
+	if sr.P95() <= healthy.P95() {
+		t.Fatalf("host outage did not raise the tail: %v vs %v", sr.P95(), healthy.P95())
+	}
+	// Work conservation: the surviving hosts absorb the load.
+	if sr.Count < healthy.Count*9/10 {
+		t.Fatalf("requests lost: %d vs %d", sr.Count, healthy.Count)
+	}
+}
+
+func TestHostScopedFailureUnknownHostIgnored(t *testing.T) {
+	cfg := singleMSConfig(t, 3_000, 2)
+	cfg.Failures = []Failure{{Host: 99, AtMin: 0.5}}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := rt.Run(); res.PerService["svc"].Count == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestDropMinutesHideSamplesNotResults(t *testing.T) {
+	run := func(drop []int) *Result {
+		cfg := singleMSConfig(t, 6_000, 2)
+		cfg.DurationMin = 4
+		cfg.WarmupMin = 1
+		cfg.DropMinutes = drop
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Run()
+	}
+	full := run(nil)
+	gapped := run([]int{2})
+	for _, s := range gapped.Samples {
+		if s.Minute == 2 {
+			t.Fatal("dropped minute still recorded")
+		}
+	}
+	if len(gapped.Samples) >= len(full.Samples) {
+		t.Fatalf("gap did not shrink samples: %d vs %d", len(gapped.Samples), len(full.Samples))
+	}
+	// End-to-end measurements are the ground truth and are unaffected: the
+	// gap hides data from the control plane, not from the experiment.
+	if gapped.PerService["svc"].Count != full.PerService["svc"].Count {
+		t.Fatalf("drop minutes changed the simulation: %d vs %d requests",
+			gapped.PerService["svc"].Count, full.PerService["svc"].Count)
+	}
+}

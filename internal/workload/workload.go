@@ -197,6 +197,12 @@ type Interference struct {
 	Mem float64 // fraction of host memory consumed by background work
 }
 
+// Add returns the component-wise sum of two interference levels (a transient
+// spike stacked on the steady background; callers clamp as needed).
+func (i Interference) Add(o Interference) Interference {
+	return Interference{CPU: i.CPU + o.CPU, Mem: i.Mem + o.Mem}
+}
+
 // Clamp bounds both utilizations to [0, max].
 func (i Interference) Clamp(max float64) Interference {
 	c := i

@@ -15,3 +15,11 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+# The race pass above runs every package once at the default worker count.
+# Re-run the chaos determinism gate explicitly at two pool sizes: the fault
+# schedule, every injection, and all three control loops must render
+# byte-identical tables whether the runners share one worker or fan out.
+echo "== chaos determinism (workers=1 vs 4) =="
+go test -run 'TestFaultTablesIdenticalAcrossWorkers|TestGenerateDeterministic' \
+	./internal/experiments ./internal/chaos
