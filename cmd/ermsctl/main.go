@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"erms"
 	"erms/internal/chaos"
@@ -48,6 +50,8 @@ func main() {
 		doChaos    = flag.Bool("chaos", false, "run the control loop under a seeded fault schedule and print per-window reports")
 		chaosWin   = flag.Int("chaos-windows", 8, "scaling windows for -chaos (each -minutes long)")
 		chaosNaive = flag.Bool("chaos-naive", false, "disable resilience for -chaos: no retry, no degraded mode, no replacement scheduling")
+
+		obsAddr = flag.String("obs-addr", "", "serve control-plane self-observability on this address (Prometheus /metrics, JSON /spans, /debug/pprof); the process stays up after the run until interrupted")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -131,6 +135,16 @@ func main() {
 	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *obsAddr != "" {
+		rec := sys.EnableObservability()
+		go func() {
+			if err := rec.ListenAndServe(*obsAddr); err != nil {
+				log.Fatalf("obs endpoint: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "self-observability on http://%s (/metrics, /spans, /debug/pprof)\n", *obsAddr)
+		defer holdForScrape(*obsAddr)
 	}
 	if *doProf {
 		fmt.Fprintln(os.Stderr, "profiling offline (simulated sweeps)...")
@@ -232,6 +246,15 @@ func main() {
 	}
 }
 
+// holdForScrape keeps the process alive after the run so the -obs-addr
+// endpoints remain scrapeable; Ctrl-C (or SIGTERM) exits.
+func holdForScrape(addr string) {
+	fmt.Fprintf(os.Stderr, "run complete; holding http://%s open for scraping (Ctrl-C to exit)\n", addr)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
 // runChaosLoop generates the standard fault schedule for the cluster, binds
 // it to the orchestrator, and drives the reconciler window by window,
 // printing what was injected and how the loop coped.
@@ -244,6 +267,7 @@ func runChaosLoop(sys *erms.System, app *erms.App, rates map[string]float64,
 		log.Fatal(err)
 	}
 	inj := chaos.NewInjector(sched, ctrl.Orch)
+	inj.SetRecorder(ctrl.Obs)
 
 	rec := sys.NewReconciler()
 	rec.WindowMin = windowMin

@@ -29,6 +29,7 @@ import (
 	"erms/internal/core"
 	"erms/internal/kube"
 	"erms/internal/multiplex"
+	"erms/internal/obs"
 	"erms/internal/provision"
 	"erms/internal/sim"
 	"erms/internal/workload"
@@ -192,8 +193,27 @@ func (s *System) Explain(service string, rates map[string]float64) (string, erro
 }
 
 // NewReconciler wraps the system in the periodic scaling loop of Fig. 6,
-// with scale-down hysteresis.
+// with scale-down hysteresis. It inherits the system's self-observability
+// recorder, if one was enabled.
 func (s *System) NewReconciler() *core.Reconciler { return core.NewReconciler(s.ctrl) }
+
+// Recorder is the control plane's self-observability recorder: phase spans
+// of the reconciliation loop, erms.self.* counters, and the /metrics +
+// /spans + pprof HTTP surface. A nil *Recorder is valid and disables
+// self-telemetry at zero cost.
+type Recorder = obs.Recorder
+
+// EnableObservability attaches a fresh self-observability recorder to the
+// system — controller, orchestrator, and any reconciler created afterwards
+// — bound to the system's metrics store, and returns it. Serve it with
+// Recorder.ListenAndServe (or mount Recorder.Handler) to expose Prometheus
+// text metrics, a JSON span dump, and net/http/pprof.
+func (s *System) EnableObservability() *Recorder {
+	rec := obs.New(s.ctrl.Metrics)
+	s.ctrl.Obs = rec
+	s.ctrl.Orch.SetRecorder(rec)
+	return rec
+}
 
 // TotalContainers reports the containers currently deployed.
 func (s *System) TotalContainers() int { return s.ctrl.Orch.TotalReplicas() }

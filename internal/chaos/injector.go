@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"erms/internal/kube"
+	"erms/internal/obs"
 	"erms/internal/sim"
 	"erms/internal/workload"
 )
@@ -37,7 +38,15 @@ type Injector struct {
 
 	// saved holds pre-spike background levels for the current window.
 	saved map[int]workload.Interference
+
+	// rec, when set, counts every enacted fault under erms.self.chaos_* so
+	// the control plane can report the chaos it actually survived (nil-safe:
+	// a nil recorder is a no-op).
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches the self-observability recorder (nil detaches).
+func (inj *Injector) SetRecorder(r *obs.Recorder) { inj.rec = r }
 
 // NewInjector binds a schedule to an orchestrator.
 func NewInjector(s *Schedule, orch *kube.Orchestrator) *Injector {
@@ -101,6 +110,9 @@ func (inj *Injector) BeginWindow(w int) (WindowEvents, error) {
 		ev.Spiked = append(ev.Spiked, f.Host)
 	}
 	ev.Spiked = sortedInts(ev.Spiked)
+	inj.rec.Add(obs.CtrChaosHostsRecovered, float64(len(ev.Recovered)))
+	inj.rec.Add(obs.CtrChaosHostsFailed, float64(len(ev.Failed)))
+	inj.rec.Add(obs.CtrChaosSpikes, float64(len(ev.Spiked)))
 	return ev, nil
 }
 
@@ -122,6 +134,7 @@ func (inj *Injector) EndWindow(w int) error {
 func (inj *Injector) OpError(window int, op string, attempt int) error {
 	for _, f := range inj.sched.ByWindow(window) {
 		if f.Kind == KindOpFault && f.Op == op && attempt < f.Count {
+			inj.rec.Inc(obs.CtrChaosOpFaults)
 			return fmt.Errorf("%w: %s attempt %d of window %d", ErrInjected, op, attempt, window)
 		}
 	}
@@ -145,6 +158,7 @@ func (inj *Injector) WindowFailures(window int) []sim.Failure {
 			if n := inj.orch.Cluster().CountFor(f.Microservice); n > 0 {
 				idx = f.Index % n
 			}
+			inj.rec.Inc(obs.CtrChaosCrashes)
 			out = append(out, sim.Failure{
 				Microservice: f.Microservice,
 				Index:        idx,
@@ -165,6 +179,7 @@ func (inj *Injector) WindowFailures(window int) []sim.Failure {
 func (inj *Injector) ObservabilityGap(window int) bool {
 	for _, f := range inj.sched.ByWindow(window) {
 		if f.Kind == KindObsGap {
+			inj.rec.Inc(obs.CtrChaosObsGaps)
 			return true
 		}
 	}

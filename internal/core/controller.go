@@ -15,6 +15,7 @@ import (
 	"erms/internal/kube"
 	"erms/internal/metrics"
 	"erms/internal/multiplex"
+	"erms/internal/obs"
 	"erms/internal/parallel"
 	"erms/internal/profiling"
 	"erms/internal/scaling"
@@ -47,6 +48,12 @@ func WithScheduler(s kube.Scheduler) Option {
 	return func(c *Controller) { c.scheduler = s }
 }
 
+// WithObservability attaches a self-observability recorder to the
+// controller and its orchestrator.
+func WithObservability(r *obs.Recorder) Option {
+	return func(c *Controller) { c.Obs = r }
+}
+
 // Controller is the Erms resource manager for one application on one
 // cluster.
 type Controller struct {
@@ -57,6 +64,11 @@ type Controller struct {
 	Metrics *metrics.Store
 	// Coordinator collects spans when simulations run with tracing enabled.
 	Coordinator *trace.Coordinator
+	// Obs is the control plane's self-observability recorder. Nil (the
+	// default) disables self-telemetry at zero cost; when set, the
+	// controller and the reconciler wrapping it count plans, applies,
+	// rollbacks, and simulation-engine activity under erms.self.*.
+	Obs *obs.Recorder
 
 	// Models holds the per-microservice latency model used for scaling.
 	Models map[string]profiling.Model
@@ -97,6 +109,9 @@ func New(app *apps.App, orch *kube.Orchestrator, opts ...Option) (*Controller, e
 	}
 	if c.scheduler != nil {
 		orch.SetScheduler(c.scheduler)
+	}
+	if c.Obs != nil {
+		orch.SetRecorder(c.Obs)
 	}
 	return c, nil
 }
@@ -159,7 +174,11 @@ func (c *Controller) Plan(rates map[string]float64) (*multiplex.Plan, error) {
 			MemUtil: mem,
 		}
 	}
-	return multiplex.PlanScheme(c.Scheme, inputs, c.Loads(rates), c.App.Shared())
+	plan, err := multiplex.PlanScheme(c.Scheme, inputs, c.Loads(rates), c.App.Shared())
+	if err == nil {
+		c.Obs.Inc(obs.CtrPlans)
+	}
+	return plan, err
 }
 
 // Explain renders the Algorithm 1 merge tree and latency-target derivation
@@ -231,6 +250,7 @@ func (c *Controller) Apply(plan *multiplex.Plan) error {
 					rbErr = e
 				}
 			}
+			c.Obs.Inc(obs.CtrApplyRollbacks)
 			if rbErr != nil {
 				return fmt.Errorf("core: applying %s: %w (rollback incomplete: %v)", ms, err, rbErr)
 			}
@@ -238,6 +258,7 @@ func (c *Controller) Apply(plan *multiplex.Plan) error {
 		}
 	}
 	metrics.CollectCluster(c.Metrics, c.Orch.Cluster(), 0)
+	c.Obs.Inc(obs.CtrApplies)
 	return nil
 }
 
@@ -324,6 +345,12 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		return nil, err
 	}
 	res := rt.Run()
+	if c.Obs != nil {
+		c.Obs.Add(obs.CtrSimEvents, float64(res.Engine.Events))
+		c.Obs.Add(obs.CtrSimJobsAlloc, float64(res.Engine.JobsAllocated))
+		c.Obs.Add(obs.CtrSimJobsRecycled, float64(res.Engine.JobsRecycled))
+		c.Obs.SetMax(obs.GaugeSimHeapPeak, float64(res.Engine.HeapPeak))
+	}
 	out := &EvalResult{
 		Plan:            plan,
 		Sim:             res,

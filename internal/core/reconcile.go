@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"erms/internal/multiplex"
+	"erms/internal/obs"
 	"erms/internal/provision"
 	"erms/internal/sim"
 	"erms/internal/stats"
@@ -63,6 +64,16 @@ type Reconciler struct {
 	// the simulation, and observability gaps. Implemented by chaos.Injector.
 	Chaos ChaosHook
 
+	// Obs is the self-observability recorder. When nil (the default) the
+	// loop runs exactly as before — every instrumentation point is a
+	// nil-receiver no-op with zero allocations. When set, each Step times
+	// its phases (repair, plan, apply, rebalance, evaluate) as wall-clock
+	// spans, populates WindowReport.PhaseMs, counts retries / degraded
+	// windows / plan diffs under erms.self.*, and mirrors the counters into
+	// the recorder's metrics store at the end of the window.
+	// NewReconciler inherits the controller's recorder.
+	Obs *obs.Recorder
+
 	history  []WindowReport
 	lastPlan *multiplex.Plan
 }
@@ -107,16 +118,27 @@ type WindowReport struct {
 	// ObsGap marks a window whose metric/trace samples were dropped by an
 	// observability fault; end-to-end results are still measured.
 	ObsGap bool
+	// PhaseMs maps Step phase names (obs.PhaseRepair … obs.PhaseEvaluate)
+	// to their wall-clock durations in milliseconds — the controller's own
+	// decision latency. Populated only when the reconciler carries an
+	// obs.Recorder; nil otherwise (and excluded from determinism
+	// comparisons, since wall time is not seeded).
+	PhaseMs map[string]float64 `json:"-"`
 }
 
 // NewReconciler wraps a controller with default loop parameters (resilience
-// enabled).
+// enabled). The controller's self-observability recorder, if any, is
+// inherited.
 func NewReconciler(c *Controller) *Reconciler {
-	return &Reconciler{
+	r := &Reconciler{
 		C: c, WindowMin: 1.5, WarmupMin: 0.3, DownscaleSlack: 0.15,
 		MaxRetries: 2, BackoffMin: 0.05, BackoffJitter: 0.5,
 		ReuseLastPlan: true, RepairLost: true,
 	}
+	if c != nil {
+		r.Obs = c.Obs
+	}
+	return r
 }
 
 // Naive disables every resilience mechanism (no retry, no degraded mode, no
@@ -201,6 +223,51 @@ func (r *Reconciler) withRetry(window int, op string, rng *stats.RNG, rep *Windo
 	}
 }
 
+// notePhase finishes a phase span and files its wall-clock duration into
+// the report. With no recorder this is a single nil check (the span was
+// inert and never read the clock).
+func (r *Reconciler) notePhase(rep *WindowReport, name string, sp obs.Span) {
+	if r.Obs == nil {
+		return
+	}
+	if rep.PhaseMs == nil {
+		rep.PhaseMs = make(map[string]float64, 5)
+	}
+	rep.PhaseMs[name] = sp.End()
+}
+
+// finishWindow publishes the completed window's self-telemetry: loop
+// counters under erms.self.* and a FlushWindow mirroring them (plus the
+// window's phase spans) into the recorder's metrics store at the window-end
+// timestamp. No-op without a recorder.
+func (r *Reconciler) finishWindow(rep *WindowReport) {
+	o := r.Obs
+	if o == nil {
+		return
+	}
+	o.Inc(obs.CtrWindows)
+	o.Add(obs.CtrRetries, float64(rep.Retries))
+	o.Add(obs.CtrBackoffMin, rep.BackoffMin)
+	o.Add(obs.CtrScaleUps, float64(rep.ScaledUp))
+	o.Add(obs.CtrScaleDowns, float64(rep.ScaledDown))
+	o.Add(obs.CtrRepaired, float64(rep.Repaired))
+	o.Add(obs.CtrDegradedWindows, b2f(rep.Degraded))
+	o.Add(obs.CtrOutageWindows, b2f(rep.Outage))
+	o.Add(obs.CtrObsGapWindows, b2f(rep.ObsGap))
+	o.Set(obs.GaugeContainers, float64(rep.Containers))
+	o.FlushWindow(rep.Window, float64(rep.Window+1)*r.WindowMin)
+}
+
+// b2f materializes a boolean counter increment: adding 0 still creates the
+// series, so a clean run exports erms.self.degraded_windows_total 0 rather
+// than omitting it.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // clonePlan copies a plan deeply enough for the loop's mutation (the
 // container counts); targets, ranks and per-service allocations are shared.
 func clonePlan(p *multiplex.Plan) *multiplex.Plan {
@@ -229,10 +296,13 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 	// Replacement scheduling: converge live containers back to desired
 	// replicas before planning, so the planner sees the true capacity.
 	if r.RepairLost {
+		sp := r.Obs.StartSpan(obs.PhaseRepair, w)
 		replaced, _ := r.C.Orch.Repair() // best-effort; a degraded cluster plans with what it has
+		r.notePhase(&report, obs.PhaseRepair, sp)
 		report.Repaired = replaced
 	}
 
+	spPlan := r.Obs.StartSpan(obs.PhasePlan, w)
 	plan := (*multiplex.Plan)(nil)
 	err := r.withRetry(w, "plan", rng, &report, func() error {
 		p, e := r.C.Plan(rates)
@@ -241,6 +311,7 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 		}
 		return e
 	})
+	r.notePhase(&report, obs.PhasePlan, spPlan)
 	if err != nil {
 		if !r.ReuseLastPlan || r.lastPlan == nil {
 			return nil, fmt.Errorf("core: reconcile plan: %w", err)
@@ -249,6 +320,7 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 		report.Degraded = true
 	}
 
+	spApply := r.Obs.StartSpan(obs.PhaseApply, w)
 	up, down := 0, 0
 	err = r.withRetry(w, "apply", rng, &report, func() error {
 		u, d, e := r.applyWithHysteresis(plan)
@@ -257,6 +329,7 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 		}
 		return e
 	})
+	r.notePhase(&report, obs.PhaseApply, spApply)
 	switch {
 	case err == nil:
 		report.ScaledUp, report.ScaledDown = up, down
@@ -273,7 +346,9 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 	}
 
 	if r.RebalanceMoves > 0 {
+		sp := r.Obs.StartSpan(obs.PhaseRebalance, w)
 		provision.Rebalance(r.C.Orch.Cluster(), r.RebalanceMoves)
+		r.notePhase(&report, obs.PhaseRebalance, sp)
 	}
 
 	var opts EvalOpts
@@ -286,7 +361,9 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 			}
 		}
 	}
+	spEval := r.Obs.StartSpan(obs.PhaseEvaluate, w)
 	res, err := r.C.EvaluateDeployed(plan, rates, r.WindowMin, r.WarmupMin, seed, opts)
+	r.notePhase(&report, obs.PhaseEvaluate, spEval)
 	if err != nil {
 		if !r.ReuseLastPlan {
 			return nil, err
@@ -301,12 +378,14 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 			report.Violations[g.Service] = 1
 		}
 		report.Containers = r.C.Orch.Cluster().NumContainers()
+		r.finishWindow(&report)
 		r.history = append(r.history, report)
 		return &report, nil
 	}
 	report.Containers = plan.TotalContainers()
 	report.Violations = res.Violations
 	report.TailLatency = res.TailLatency
+	r.finishWindow(&report)
 	r.history = append(r.history, report)
 	return &report, nil
 }

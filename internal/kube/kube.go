@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"erms/internal/cluster"
+	"erms/internal/obs"
 )
 
 // Scheduler decides where new containers go and which containers leave.
@@ -180,6 +181,7 @@ type Orchestrator struct {
 	sched       Scheduler
 	deployments map[string]*Deployment
 	watchers    []func(Event)
+	rec         *obs.Recorder
 }
 
 // New creates an orchestrator over the cluster with the given scheduler
@@ -210,7 +212,15 @@ func (o *Orchestrator) SetScheduler(s Scheduler) {
 // Watch registers a hook invoked on every orchestration event.
 func (o *Orchestrator) Watch(fn func(Event)) { o.watchers = append(o.watchers, fn) }
 
+// SetRecorder attaches the control plane's self-observability recorder;
+// every orchestration event is counted under erms.self.kube_*. A nil
+// recorder detaches (the emit path then costs a single nil check).
+func (o *Orchestrator) SetRecorder(r *obs.Recorder) { o.rec = r }
+
 func (o *Orchestrator) emit(e Event) {
+	if o.rec != nil {
+		o.rec.Inc(obs.KubeEventCounter(e.Type.String()))
+	}
 	for _, w := range o.watchers {
 		w(e)
 	}

@@ -69,8 +69,11 @@ func Key(name string, labels ...string) string {
 	return b.String()
 }
 
-// Append records one observation. Timestamps should be non-decreasing per
-// series; out-of-order points are accepted but Range assumes order.
+// Append records one observation. Points are kept sorted by timestamp:
+// in-order appends (the common case) are O(1), while a late point is
+// inserted at its timestamp so Range, Latest, and the quantile helpers stay
+// correct. Insertion is stable — among equal timestamps, arrival order is
+// preserved and Latest reports the most recently appended.
 func (st *Store) Append(key string, t, v float64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -79,7 +82,15 @@ func (st *Store) Append(key string, t, v float64) {
 		s = &Series{Name: key}
 		st.series[key] = s
 	}
-	s.points = append(s.points, Point{T: t, V: v})
+	if n := len(s.points); n == 0 || s.points[n-1].T <= t {
+		s.points = append(s.points, Point{T: t, V: v})
+		return
+	}
+	// Out-of-order: insert after every point with T <= t.
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
+	s.points = append(s.points, Point{})
+	copy(s.points[i+1:], s.points[i:])
+	s.points[i] = Point{T: t, V: v}
 }
 
 // Names returns all series names, sorted.

@@ -41,6 +41,67 @@ func TestAppendAndRange(t *testing.T) {
 	}
 }
 
+// TestOutOfOrderAppend is the regression test for the Range/Append mismatch:
+// Append used to accept out-of-order points verbatim while Range's binary
+// search assumed sorted timestamps, silently truncating or misplacing
+// windows. Append now inserts late points in timestamp order.
+func TestOutOfOrderAppend(t *testing.T) {
+	st := NewStore()
+	// Arrival order deliberately scrambled.
+	for _, p := range []Point{{T: 5, V: 50}, {T: 1, V: 10}, {T: 3, V: 30}, {T: 2, V: 20}, {T: 4, V: 40}} {
+		st.Append("s", p.T, p.V)
+	}
+	pts := st.Range("s", 0, 10)
+	if len(pts) != 5 {
+		t.Fatalf("range len = %d, want 5", len(pts))
+	}
+	for i, p := range pts {
+		want := float64(i + 1)
+		if p.T != want || p.V != want*10 {
+			t.Fatalf("point %d = %+v, want {T:%v V:%v}", i, p, want, want*10)
+		}
+	}
+	// Half-open sub-windows see exactly the points in [t0, t1).
+	if got := st.Range("s", 2, 4); len(got) != 2 || got[0].T != 2 || got[1].T != 3 {
+		t.Fatalf("sub-range = %v", got)
+	}
+	// Aggregates over a window of a scrambled series are correct too.
+	if m, ok := st.MeanInRange("s", 1, 4); !ok || m != 20 {
+		t.Fatalf("mean = %v ok=%v, want 20", m, ok)
+	}
+	if q, ok := st.QuantileInRange("s", 1.0, 0, 10); !ok || q != 50 {
+		t.Fatalf("quantile = %v ok=%v, want 50", q, ok)
+	}
+	// Latest reports the greatest timestamp, not the last arrival.
+	st.Append("s", 0.5, 5)
+	if p, ok := st.Latest("s"); !ok || p.T != 5 || p.V != 50 {
+		t.Fatalf("latest after late point = %+v ok=%v", p, ok)
+	}
+}
+
+// TestAppendEqualTimestampsStable pins the tie rule: equal-timestamp points
+// keep arrival order, and Latest returns the most recently appended of them.
+func TestAppendEqualTimestampsStable(t *testing.T) {
+	st := NewStore()
+	st.Append("s", 1, 1)
+	st.Append("s", 2, 2)
+	st.Append("s", 2, 3)
+	st.Append("s", 1, 4) // late duplicate timestamp: lands after the first T=1
+	pts := st.Range("s", 0, 10)
+	wantV := []float64{1, 4, 2, 3}
+	if len(pts) != len(wantV) {
+		t.Fatalf("len = %d, want %d", len(pts), len(wantV))
+	}
+	for i, p := range pts {
+		if p.V != wantV[i] {
+			t.Fatalf("order = %v, want values %v", pts, wantV)
+		}
+	}
+	if p, _ := st.Latest("s"); p.T != 2 || p.V != 3 {
+		t.Fatalf("latest = %+v, want {T:2 V:3}", p)
+	}
+}
+
 func TestLatest(t *testing.T) {
 	st := NewStore()
 	if _, ok := st.Latest("s"); ok {

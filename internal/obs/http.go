@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// Handler serves the recorder over HTTP:
+//
+//	/metrics      Prometheus text format: every counter/gauge of the
+//	              recorder plus the latest point of every series in the
+//	              bound metrics store (application metrics and the
+//	              erms.self.* mirror alike).
+//	/spans        JSON dump of the retained internal spans.
+//	/debug/pprof  the standard net/http/pprof profiles.
+//
+// The handler is read-only and safe to serve while the control loop runs.
+func (r *Recorder) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", r.serveMetrics)
+	mux.HandleFunc("/spans", r.serveSpans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "erms self-observability\n\n/metrics\n/spans\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// ListenAndServe serves the handler on addr; it blocks like
+// http.ListenAndServe. Most callers run it in a goroutine.
+func (r *Recorder) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, r.Handler())
+}
+
+func (r *Recorder) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var sb strings.Builder
+
+	// Live counters and gauges straight from the recorder.
+	counters := r.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s %g\n", PromName(name), counters[name])
+	}
+
+	// Latest value of every store series not already covered above (the
+	// erms.self.* mirror carries FlushWindow history; live values win).
+	if st := r.Store(); st != nil {
+		seen := make(map[string]bool, len(names))
+		for _, name := range names {
+			seen[PromName(name)] = true
+		}
+		for _, key := range st.Names() {
+			pn := PromName(key)
+			if seen[pn] {
+				continue
+			}
+			if p, ok := st.Latest(key); ok {
+				fmt.Fprintf(&sb, "%s %g\n", pn, p.V)
+			}
+		}
+	}
+	fmt.Fprint(w, sb.String())
+}
+
+func (r *Recorder) serveSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	payload := struct {
+		Spans   []SpanRecord `json:"spans"`
+		Dropped int          `json:"dropped"`
+	}{Spans: r.Spans(), Dropped: r.DroppedSpans()}
+	if payload.Spans == nil {
+		payload.Spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload)
+}
+
+// PromName converts a store series key into a valid Prometheus metric name:
+// the name part (before any {labels}) has every character outside
+// [a-zA-Z0-9_:] replaced by '_'; a label block produced by metrics.Key is
+// already in Prometheus form and passes through untouched.
+func PromName(key string) string {
+	name, labels := key, ""
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		name, labels = key[:i], key[i:]
+	}
+	var b strings.Builder
+	b.Grow(len(name) + len(labels))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString(labels)
+	return b.String()
+}

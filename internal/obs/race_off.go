@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation gates skip under -race (the detector instruments
+// allocations and would fail them spuriously).
+const raceEnabled = false

@@ -75,6 +75,65 @@ func TestFirstErrorLowestIndex(t *testing.T) {
 	}
 }
 
+// TestSimultaneousFailuresLowestIndexWins is the regression test for the
+// lowest-index-error contract under the worst-case race: every worker's
+// task fails at the same instant. A rendezvous barrier holds the first
+// `workers` tasks until all of them have started, then releases them to
+// fail together. The contract requires (a) the returned error is from the
+// lowest started index, and (b) no new indices are dispatched once every
+// worker has observed a failure — the remaining tasks never start.
+func TestSimultaneousFailuresLowestIndexWins(t *testing.T) {
+	const workers = 8
+	const n = 10000
+	for trial := 0; trial < 25; trial++ {
+		var started atomic.Int64
+		release := make(chan struct{})
+		arrived := make(chan struct{}, workers)
+		go func() {
+			for i := 0; i < workers; i++ {
+				<-arrived
+			}
+			close(release) // all workers hold a task; fail them together
+		}()
+		err := forEach(n, workers, func(i int) error {
+			started.Add(1)
+			arrived <- struct{}{}
+			<-release
+			return fmt.Errorf("task %d", i)
+		})
+		if err == nil || err.Error() != "task 0" {
+			t.Fatalf("trial %d: got %v, want task 0", trial, err)
+		}
+		// Indices are handed out in order, so the barrier held exactly
+		// tasks 0..workers-1; after the simultaneous failure no worker may
+		// dispatch another index.
+		if got := started.Load(); got != workers {
+			t.Fatalf("trial %d: %d tasks started, want exactly %d", trial, got, workers)
+		}
+	}
+}
+
+// TestLateLowIndexFailureStillWins pins the other half of the contract:
+// when a high-index task fails first and a lower-index task (already
+// started) fails afterwards, the lower index must still win because every
+// started failing task records its error before the pool returns.
+func TestLateLowIndexFailureStillWins(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		highFailed := make(chan struct{})
+		err := forEach(2, 2, func(i int) error {
+			if i == 1 {
+				close(highFailed)
+				return fmt.Errorf("task %d", i)
+			}
+			<-highFailed // fail strictly after task 1 has failed
+			return fmt.Errorf("task %d", i)
+		})
+		if err == nil || err.Error() != "task 0" {
+			t.Fatalf("trial %d: got %v, want task 0", trial, err)
+		}
+	}
+}
+
 func TestErrorStopsDispatch(t *testing.T) {
 	var started atomic.Int64
 	sentinel := errors.New("boom")

@@ -81,6 +81,11 @@ type Engine struct {
 	now    float64
 	seq    int64
 	events eventHeap
+
+	// Self-telemetry: plain integer counters so the hot loop stays
+	// allocation-free whether or not anyone reads them.
+	processed int64
+	heapPeak  int
 }
 
 // NewEngine creates an engine with the clock at zero. The event heap's
@@ -107,6 +112,9 @@ func (e *Engine) At(t float64, fn func()) {
 	}
 	e.seq++
 	e.events.push(event{time: t, seq: e.seq, fn: fn})
+	if n := len(e.events); n > e.heapPeak {
+		e.heapPeak = n
+	}
 }
 
 // Run processes events until the queue empties or the clock passes until
@@ -118,6 +126,7 @@ func (e *Engine) Run(until float64) {
 		}
 		next := e.events.pop()
 		e.now = next.time
+		e.processed++
 		next.fn()
 	}
 	if e.now < until {
@@ -127,3 +136,19 @@ func (e *Engine) Run(until float64) {
 
 // Pending returns the number of queued events (for tests and diagnostics).
 func (e *Engine) Pending() int { return len(e.events) }
+
+// EngineStats is the engine's self-telemetry, reported through the
+// simulation Result and mirrored into the erms.self.* namespace by the
+// control plane's observability layer. All values are deterministic for a
+// fixed seed.
+type EngineStats struct {
+	// Events is the number of events executed.
+	Events int64
+	// HeapPeak is the high-water pending-event depth.
+	HeapPeak int
+}
+
+// Stats returns the engine's counters so far.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Events: e.processed, HeapPeak: e.heapPeak}
+}

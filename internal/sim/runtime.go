@@ -229,6 +229,19 @@ type Result struct {
 	ServiceMSCalls map[string]map[string]float64
 	// SimulatedMin is the measured (post-warmup) duration in minutes.
 	SimulatedMin float64
+	// Engine is the event engine's self-telemetry for the run, deterministic
+	// for a fixed seed.
+	Engine RunStats
+}
+
+// RunStats bundles the run's engine counters with the job free-list's
+// recycling balance (how many Job records were heap-allocated versus reused).
+type RunStats struct {
+	EngineStats
+	// JobsAllocated counts Job records taken from the heap rather than the
+	// free list; JobsRecycled counts returns to the free list.
+	JobsAllocated int
+	JobsRecycled  int
 }
 
 // containerState is the runtime queueing state of one placed container.
@@ -269,6 +282,9 @@ type Runtime struct {
 
 	nextTrace int64
 	result    *Result
+
+	jobsAllocated int
+	jobsRecycled  int
 }
 
 // getJob takes a Job from the free list (or allocates one).
@@ -281,6 +297,7 @@ func (rt *Runtime) getJob(svc string, enqueued float64) *Job {
 		j.Enqueued = enqueued
 		return j
 	}
+	rt.jobsAllocated++
 	return &Job{Service: svc, Enqueued: enqueued}
 }
 
@@ -288,6 +305,7 @@ func (rt *Runtime) getJob(svc string, enqueued float64) *Job {
 func (rt *Runtime) putJob(j *Job) {
 	j.onServed = nil
 	rt.jobFree = append(rt.jobFree, j)
+	rt.jobsRecycled++
 }
 
 // NewRuntime validates the configuration and prepares a runtime.
@@ -406,6 +424,11 @@ func (rt *Runtime) Run() *Result {
 			rates[ms] = float64(n) / rt.result.SimulatedMin
 		}
 		rt.result.ServiceMSCalls[svc] = rates
+	}
+	rt.result.Engine = RunStats{
+		EngineStats:   rt.eng.Stats(),
+		JobsAllocated: rt.jobsAllocated,
+		JobsRecycled:  rt.jobsRecycled,
 	}
 	return rt.result
 }

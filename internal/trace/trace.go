@@ -159,7 +159,19 @@ func Spans(t Trace) []Span {
 // groupStages partitions one node's child calls into execution stages using
 // the overlap rule of §5.1: a call whose client span overlaps the span of an
 // already-grouped call is parallel with it; otherwise it starts a new
-// sequential stage. Children must be sorted by ClientSend.
+// sequential stage. Children must be sorted as produced by childrenOf.
+//
+// Overlap is half-open — a child joins the current stage iff its ClientSend
+// is strictly before the stage's end. The boundary cases are pinned:
+//
+//   - exactly touching (ClientSend == stageEnd) is SEQUENTIAL: a child
+//     issued the instant the previous one returned did not run concurrently
+//     with it;
+//   - a zero-width client span (ClientSend == ClientRecv) inside a stage is
+//     PARALLEL with it, and one starting exactly at stageEnd starts a new
+//     stage (a consequence of the half-open rule, not a special case);
+//   - a zero-width span opening a stage leaves stageEnd == its ClientSend,
+//     so the next child — even at the same instant — is sequential after it.
 func groupStages(children []sim.CallRecord) [][]sim.CallRecord {
 	var stages [][]sim.CallRecord
 	var stageEnd float64
@@ -179,7 +191,13 @@ func groupStages(children []sim.CallRecord) [][]sim.CallRecord {
 }
 
 // childrenOf returns t's calls whose parent is the given node, sorted by
-// client send time.
+// client send time with ties broken by client recv then node ID. The full
+// key matters: sorting on ClientSend alone with a non-stable sort made the
+// stage grouping of equal-send children (e.g. a zero-width span and a wider
+// sibling issued at the same instant) depend on input order, so the same
+// trace could classify as parallel or sequential run to run. With the
+// pinned order the shorter span sorts first and groupStages is
+// deterministic.
 func childrenOf(t Trace, nodeID int) []sim.CallRecord {
 	var out []sim.CallRecord
 	for _, r := range t.Calls {
@@ -187,7 +205,16 @@ func childrenOf(t Trace, nodeID int) []sim.CallRecord {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ClientSend < out[j].ClientSend })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ClientSend != b.ClientSend {
+			return a.ClientSend < b.ClientSend
+		}
+		if a.ClientRecv != b.ClientRecv {
+			return a.ClientRecv < b.ClientRecv
+		}
+		return a.NodeID < b.NodeID
+	})
 	return out
 }
 

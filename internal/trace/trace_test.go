@@ -102,6 +102,140 @@ func TestGroupStagesOverlapRule(t *testing.T) {
 	}
 }
 
+// TestGroupStagesBoundaries pins the parallel/sequential tie-breaks of the
+// half-open overlap rule for zero-width and exactly-touching client spans.
+func TestGroupStagesBoundaries(t *testing.T) {
+	// child builds a child call of node 0 with client span [cs, cr).
+	child := func(ms string, nodeID int, cs, cr float64) sim.CallRecord {
+		return call(1, "svc", "T", ms, nodeID, 0, cs, cs, cr, cr)
+	}
+	cases := []struct {
+		name     string
+		children []sim.CallRecord
+		want     [][]string // stages as microservice names, in order
+	}{
+		{
+			name: "exactly touching is sequential",
+			children: []sim.CallRecord{
+				child("A", 1, 0, 10),
+				child("B", 2, 10, 20),
+			},
+			want: [][]string{{"A"}, {"B"}},
+		},
+		{
+			name: "strict overlap by epsilon is parallel",
+			children: []sim.CallRecord{
+				child("A", 1, 0, 10),
+				child("B", 2, 9.999, 20),
+			},
+			want: [][]string{{"A", "B"}},
+		},
+		{
+			name: "zero-width span strictly inside a stage is parallel",
+			children: []sim.CallRecord{
+				child("A", 1, 0, 10),
+				child("Z", 2, 5, 5),
+			},
+			want: [][]string{{"A", "Z"}},
+		},
+		{
+			name: "zero-width span exactly at stage end starts a new stage",
+			children: []sim.CallRecord{
+				child("A", 1, 0, 10),
+				child("Z", 2, 10, 10),
+				child("B", 3, 10, 20),
+			},
+			// Z opens a stage with stageEnd == 10, so B (send 10) is
+			// sequential after it rather than parallel with it.
+			want: [][]string{{"A"}, {"Z"}, {"B"}},
+		},
+		{
+			name: "zero-width and wider sibling at the same instant",
+			children: []sim.CallRecord{
+				// Arrival order adversarial: wider span first. The pinned
+				// child order (ClientSend, ClientRecv, NodeID) puts Z first,
+				// so the grouping is sequential regardless of input order.
+				child("A", 1, 0, 10),
+				child("Z", 2, 0, 0),
+			},
+			want: [][]string{{"Z"}, {"A"}},
+		},
+		{
+			name: "equal spans tie-break on node ID",
+			children: []sim.CallRecord{
+				child("B", 2, 0, 10),
+				child("A", 1, 0, 10),
+			},
+			want: [][]string{{"A", "B"}},
+		},
+		{
+			name: "back-to-back zero-width spans at one instant are sequential",
+			children: []sim.CallRecord{
+				child("Z2", 2, 5, 5),
+				child("Z1", 1, 5, 5),
+			},
+			want: [][]string{{"Z1"}, {"Z2"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := Trace{ID: 1, Service: "svc", Calls: tc.children}
+			stages := groupStages(childrenOf(tr, 0))
+			got := make([][]string, len(stages))
+			for i, st := range stages {
+				for _, r := range st {
+					got[i] = append(got[i], r.Microservice)
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Fatalf("stages = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestChildrenOfDeterministicOrder feeds the same children in every
+// permutation and checks the grouping never changes — the regression for the
+// non-stable single-key sort that let equal-send siblings flip order.
+func TestChildrenOfDeterministicOrder(t *testing.T) {
+	base := []sim.CallRecord{
+		call(1, "svc", "T", "N", 1, 0, 2, 2, 9, 9),
+		call(1, "svc", "T", "Z", 2, 0, 2, 2, 2, 2), // zero-width, same send as N
+		call(1, "svc", "T", "C", 3, 0, 9, 9, 12, 12),
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var want string
+	for i, p := range perms {
+		calls := make([]sim.CallRecord, len(base))
+		for j, idx := range p {
+			calls[j] = base[idx]
+		}
+		stages := groupStages(childrenOf(Trace{ID: 1, Calls: calls}, 0))
+		got := fmt.Sprint(func() (names [][]string) {
+			for _, st := range stages {
+				var s []string
+				for _, r := range st {
+					s = append(s, r.Microservice)
+				}
+				names = append(names, s)
+			}
+			return
+		}())
+		if i == 0 {
+			want = got
+			// Zero-width Z sorts before N (same send, shorter), opens its
+			// own stage; N follows sequentially; C touches N's end exactly.
+			if want != "[[Z] [N] [C]]" {
+				t.Fatalf("pinned grouping = %s, want [[Z] [N] [C]]", want)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("permutation %v grouped as %s, first permutation as %s", p, got, want)
+		}
+	}
+}
+
 func TestExtractGraphFig1(t *testing.T) {
 	c := NewCoordinator(1)
 	fillCoordinator(c, 5)

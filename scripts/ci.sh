@@ -16,6 +16,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The self-observability layer promises a free disabled path: every obs
+# call on a nil recorder must cost zero allocations. testing.AllocsPerRun
+# is meaningless under -race (the detector itself allocates), so the gate
+# runs without it.
+echo "== zero-alloc gate (obs disabled path) =="
+go test -run 'ZeroAlloc' -count=1 ./internal/obs
+
 # The race pass above runs every package once at the default worker count.
 # Re-run the chaos determinism gate explicitly at two pool sizes: the fault
 # schedule, every injection, and all three control loops must render
