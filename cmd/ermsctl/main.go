@@ -52,6 +52,14 @@ func main() {
 		chaosNaive = flag.Bool("chaos-naive", false, "disable resilience for -chaos: no retry, no degraded mode, no replacement scheduling")
 
 		obsAddr = flag.String("obs-addr", "", "serve control-plane self-observability on this address (Prometheus /metrics, JSON /spans, /debug/pprof); the process stays up after the run until interrupted")
+
+		resOn      = flag.Bool("resilience", false, "enable the data-plane fault model in evaluations: deadline propagation, timeouts, crash failure semantics")
+		resTimeout = flag.Float64("timeout-sla", 3, "with -resilience: request deadline as a multiple of the service SLA (0 = no deadline)")
+		resAttempt = flag.Float64("attempt-timeout", 25, "with -resilience: per-attempt timeout in ms (0 = bound attempts by the request deadline only)")
+		resRetries = flag.Int("retries", 1, "with -resilience: max attempts per call edge (1 = no retries)")
+		resBudget  = flag.Float64("retry-budget", 0.1, "with -resilience: retry tokens earned per success (0 = unbounded retries, the naive storm)")
+		resBreaker = flag.Float64("breaker", 0.5, "with -resilience: circuit-breaker failure-rate threshold per (service, microservice) (0 = no breakers)")
+		resShed    = flag.Bool("shed", false, "with -resilience: shed calls at enqueue when the estimated wait overruns the deadline")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -132,7 +140,20 @@ func main() {
 		log.Fatalf("unknown scheme %q", *scheme)
 	}
 
-	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch))
+	var res *erms.Resilience
+	if *resOn {
+		res = &erms.Resilience{
+			TimeoutSLAMultiple: *resTimeout,
+			AttemptTimeoutMs:   *resAttempt,
+			MaxAttempts:        *resRetries,
+			RetryBackoffMs:     2,
+			RetryJitter:        0.2,
+			RetryBudget:        *resBudget,
+			BreakerFailureRate: *resBreaker,
+			Shed:               *resShed,
+		}
+	}
+	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch), erms.WithResilience(res))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -240,8 +261,15 @@ func main() {
 		}
 		sort.Strings(svcs)
 		for _, svc := range svcs {
-			fmt.Printf("  %-20s SLA %6.1fms  P95 %8.2fms  violations %5.2f%%\n",
+			line := fmt.Sprintf("  %-20s SLA %6.1fms  P95 %8.2fms  violations %5.2f%%",
 				svc, app.SLAs[svc].Threshold, res.TailLatency[svc], 100*res.Violations[svc])
+			if *resOn {
+				line += fmt.Sprintf("  errors %5.2f%%", 100*res.ErrorRate[svc])
+			}
+			fmt.Println(line)
+		}
+		if *resOn {
+			fmt.Printf("  goodput %.0f req/min (requests within SLA)\n", res.Goodput)
 		}
 	}
 }

@@ -83,6 +83,11 @@ type Plan = multiplex.Plan
 // EvalResult is the outcome of simulating a deployed plan.
 type EvalResult = core.EvalResult
 
+// Resilience configures the data-plane fault model: deadline propagation,
+// budgeted retries, circuit breaking, admission control, and crash failure
+// semantics (see sim.Resilience).
+type Resilience = sim.Resilience
+
 // OfflineConfig drives empirical profiling sweeps.
 type OfflineConfig = core.OfflineConfig
 
@@ -96,11 +101,12 @@ type System struct {
 type Option func(*config)
 
 type config struct {
-	hosts     int
-	hostSpec  cluster.HostSpec
-	scheme    Scheme
-	delta     float64
-	popGroups int
+	hosts      int
+	hostSpec   cluster.HostSpec
+	scheme     Scheme
+	delta      float64
+	popGroups  int
+	resilience *Resilience
 }
 
 // WithHosts sets the cluster size (default 20, the paper's testbed).
@@ -119,6 +125,10 @@ func WithDelta(d float64) Option { return func(c *config) { c.delta = d } }
 
 // WithPOPGroups sets the provisioning partition count (default 4).
 func WithPOPGroups(g int) Option { return func(c *config) { c.popGroups = g } }
+
+// WithResilience enables the data-plane fault model in every evaluation
+// simulation (nil, the default, keeps the infallible data plane).
+func WithResilience(r *Resilience) Option { return func(c *config) { c.resilience = r } }
 
 // NewSystem creates an Erms system managing the application on a fresh
 // simulated cluster with interference-aware provisioning.
@@ -139,12 +149,17 @@ func NewSystem(app *App, opts ...Option) (*System, error) {
 		core.WithScheme(cfg.scheme),
 		core.WithDelta(cfg.delta),
 		core.WithScheduler(&provision.InterferenceAware{Groups: cfg.popGroups}),
+		core.WithResilience(cfg.resilience),
 	)
 	if err != nil {
 		return nil, err
 	}
 	return &System{ctrl: ctrl}, nil
 }
+
+// SetResilience enables (or, with nil, disables) the data-plane fault model
+// for subsequent evaluations.
+func (s *System) SetResilience(r *Resilience) { s.ctrl.Resilience = r }
 
 // UseAnalyticModels installs first-principles latency models derived from
 // the application's service profiles — the fast path. ProfileOffline

@@ -30,6 +30,21 @@ type App struct {
 	Containers map[string]cluster.ContainerSpec
 }
 
+// ApplyEdgePolicy installs a default per-edge resilience policy on every
+// node of every service graph that does not already carry one. Nodes with an
+// explicit policy keep it, so call sites can pin hot edges first and then
+// blanket the rest. The policy is inert unless the simulation runs with
+// sim.Resilience enabled.
+func (a *App) ApplyEdgePolicy(p graph.EdgePolicy) {
+	for _, g := range a.Graphs {
+		for _, n := range g.PreOrder() {
+			if n.Policy == nil {
+				n.SetPolicy(p)
+			}
+		}
+	}
+}
+
 // Services returns the service names in graph order.
 func (a *App) Services() []string {
 	out := make([]string, len(a.Graphs))

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"erms/internal/graph"
 	"erms/internal/workload"
 )
 
@@ -237,5 +238,27 @@ func TestReport(t *testing.T) {
 func TestValidateAgainstPaper(t *testing.T) {
 	if err := ValidateAgainstPaper(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestApplyEdgePolicy(t *testing.T) {
+	a := HotelReservation()
+	// Pin one node first: the blanket application must not overwrite it.
+	pinned := a.Graphs[0].Root
+	pinned.SetPolicy(graph.EdgePolicy{TimeoutMs: 7})
+
+	a.ApplyEdgePolicy(graph.EdgePolicy{TimeoutMs: 30, MaxAttempts: 2})
+	if pinned.Policy.TimeoutMs != 7 {
+		t.Fatalf("blanket policy overwrote a pinned edge: %+v", pinned.Policy)
+	}
+	for _, g := range a.Graphs {
+		for _, n := range g.PreOrder() {
+			if n.Policy == nil {
+				t.Fatalf("%s/%s has no policy after ApplyEdgePolicy", g.Service, n.Microservice)
+			}
+			if n != pinned && (n.Policy.TimeoutMs != 30 || n.Policy.MaxAttempts != 2) {
+				t.Fatalf("%s/%s has wrong policy: %+v", g.Service, n.Microservice, n.Policy)
+			}
+		}
 	}
 }

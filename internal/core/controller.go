@@ -54,6 +54,14 @@ func WithObservability(r *obs.Recorder) Option {
 	return func(c *Controller) { c.Obs = r }
 }
 
+// WithResilience enables the data-plane fault model in every evaluation
+// simulation: deadline propagation, budgeted retries, circuit breaking,
+// admission control, and crash failure semantics. Nil (the default) keeps
+// the infallible data plane.
+func WithResilience(r *sim.Resilience) Option {
+	return func(c *Controller) { c.Resilience = r }
+}
+
 // Controller is the Erms resource manager for one application on one
 // cluster.
 type Controller struct {
@@ -81,6 +89,9 @@ type Controller struct {
 	Delta float64
 	// Interference is the host-utilization → service-time inflation model.
 	Interference cluster.InterferenceModel
+	// Resilience, when non-nil, enables the data-plane fault model in every
+	// evaluation simulation (see sim.Resilience).
+	Resilience *sim.Resilience
 
 	scheduler kube.Scheduler
 }
@@ -278,10 +289,18 @@ type EvalResult struct {
 	Sim  *sim.Result
 	// TotalContainers deployed during the window.
 	TotalContainers int
-	// Violations aggregates per-service SLA misses.
+	// Violations aggregates per-service SLA misses (slow completions plus
+	// errors over everything issued).
 	Violations map[string]float64
 	// TailLatency holds the per-service P95 end-to-end latency.
 	TailLatency map[string]float64
+	// ErrorRate holds the per-service fraction of requests that failed
+	// outright. Nil unless the controller runs with Resilience.
+	ErrorRate map[string]float64
+	// Goodput is the aggregate rate of requests completed within their SLA,
+	// in requests per minute across all services. Zero unless the controller
+	// runs with Resilience.
+	Goodput float64
 }
 
 // Evaluate plans for the given rates, applies the plan, and runs the
@@ -339,6 +358,7 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		Observer:       c.Coordinator,
 		Failures:       opts.Failures,
 		DropMinutes:    opts.DropMinutes,
+		Resilience:     c.Resilience,
 	}
 	rt, err := sim.NewRuntime(cfg)
 	if err != nil {
@@ -350,6 +370,19 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		c.Obs.Add(obs.CtrSimJobsAlloc, float64(res.Engine.JobsAllocated))
 		c.Obs.Add(obs.CtrSimJobsRecycled, float64(res.Engine.JobsRecycled))
 		c.Obs.SetMax(obs.GaugeSimHeapPeak, float64(res.Engine.HeapPeak))
+		if c.Resilience != nil {
+			d := res.Data
+			c.Obs.Add(obs.CtrDataAttempts, float64(d.Attempts))
+			c.Obs.Add(obs.CtrDataTimeouts, float64(d.Timeouts))
+			c.Obs.Add(obs.CtrDataRetries, float64(d.Retries))
+			c.Obs.Add(obs.CtrDataRetryBudgetExhausted, float64(d.RetryBudgetExhausted))
+			c.Obs.Add(obs.CtrDataBreakerOpens, float64(d.BreakerOpens))
+			c.Obs.Add(obs.CtrDataBreakerShortCircuits, float64(d.BreakerShortCircuits))
+			c.Obs.Add(obs.CtrDataShed, float64(d.Shed))
+			c.Obs.Add(obs.CtrDataCrashFailures, float64(d.CrashFailures))
+			c.Obs.Add(obs.CtrDataDeadlineSkips, float64(d.DeadlineSkips))
+			c.Obs.Add(obs.CtrDataUnavailable, float64(d.Unavailable))
+		}
 	}
 	out := &EvalResult{
 		Plan:            plan,
@@ -358,9 +391,23 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		Violations:      make(map[string]float64),
 		TailLatency:     make(map[string]float64),
 	}
+	if c.Resilience != nil {
+		out.ErrorRate = make(map[string]float64)
+	}
+	errors := 0
 	for svc, sr := range res.PerService {
 		out.Violations[svc] = sr.ViolationRate()
 		out.TailLatency[svc] = sr.P95()
+		errors += sr.Errors
+		if c.Resilience != nil {
+			out.ErrorRate[svc] = sr.ErrorRate()
+			if res.SimulatedMin > 0 {
+				out.Goodput += float64(sr.Good()) / res.SimulatedMin
+			}
+		}
+	}
+	if c.Obs != nil && c.Resilience != nil {
+		c.Obs.Add(obs.CtrDataErrors, float64(errors))
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"erms/internal/graph"
 	"erms/internal/kube"
 	"erms/internal/multiplex"
+	"erms/internal/obs"
 	"erms/internal/provision"
 	"erms/internal/sim"
 	"erms/internal/trace"
@@ -352,5 +353,54 @@ func TestMinuteAggregatesMatchDirectSamples(t *testing.T) {
 		if rel := (a.TailMs - d.TailMs) / d.TailMs; rel > 0.35 || rel < -0.35 {
 			t.Fatalf("minute %d: trace tail %.2f vs direct %.2f", a.Minute, a.TailMs, d.TailMs)
 		}
+	}
+}
+
+func TestEvaluateWithResilience(t *testing.T) {
+	res := &sim.Resilience{
+		TimeoutSLAMultiple: 3,
+		AttemptTimeoutMs:   50,
+		MaxAttempts:        2,
+		RetryBudget:        0.1,
+	}
+	c := hotelController(t, WithResilience(res))
+	rec := obs.New(c.Metrics)
+	c.Obs = rec
+	out, err := c.Evaluate(hotelRates(4000), 1.5, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ErrorRate == nil {
+		t.Fatal("resilient evaluation reported no ErrorRate map")
+	}
+	for svc, er := range out.ErrorRate {
+		if er > 0.05 {
+			t.Fatalf("service %s errors %.1f%% on a healthy cluster", svc, er*100)
+		}
+	}
+	if out.Goodput <= 0 {
+		t.Fatalf("goodput = %v, want > 0", out.Goodput)
+	}
+	// A well-provisioned plan passes nearly everything within SLA.
+	if total := 4 * 4000.0; out.Goodput < total*0.9 {
+		t.Fatalf("goodput %v req/min, want ≈ %v", out.Goodput, total)
+	}
+	// The data-plane counters are mirrored into self-telemetry.
+	if got := rec.Value(obs.CtrDataAttempts); got <= 0 {
+		t.Fatalf("attempts counter = %v, want > 0", got)
+	}
+}
+
+func TestEvaluateWithoutResilienceHasNoErrorRate(t *testing.T) {
+	c := hotelController(t)
+	out, err := c.Evaluate(hotelRates(3000), 1, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ErrorRate != nil {
+		t.Fatalf("infallible evaluation grew an ErrorRate map: %v", out.ErrorRate)
+	}
+	if out.Goodput != 0 {
+		t.Fatalf("infallible evaluation reports goodput %v", out.Goodput)
 	}
 }

@@ -98,6 +98,13 @@ type WindowReport struct {
 	Containers  int
 	Violations  map[string]float64
 	TailLatency map[string]float64
+	// ErrorRate holds the per-service fraction of requests that failed
+	// outright in the window's simulation (data-plane resilience enabled);
+	// nil when the controller runs the infallible data plane.
+	ErrorRate map[string]float64
+	// Goodput is the aggregate rate of requests completed within their SLA,
+	// requests per minute.
+	Goodput float64
 	// ScaledUp / ScaledDown count the microservices that changed.
 	ScaledUp   int
 	ScaledDown int
@@ -385,6 +392,10 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 	report.Containers = plan.TotalContainers()
 	report.Violations = res.Violations
 	report.TailLatency = res.TailLatency
+	report.Goodput = res.Goodput
+	if r.C.Resilience != nil {
+		report.ErrorRate = res.ErrorRate
+	}
 	r.finishWindow(&report)
 	r.history = append(r.history, report)
 	return &report, nil

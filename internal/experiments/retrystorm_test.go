@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"erms/internal/parallel"
+)
+
+// parseF parses a rendered table cell as a float.
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// TestFig23RetryStormOrdering pins the experiment's headline result:
+// unbounded nested retries amplify a transient backend crash into a much
+// worse SLA violation rate, while budgeted retries with a breaker and
+// admission control stay within a whisker of the no-retry baseline.
+func TestFig23RetryStormOrdering(t *testing.T) {
+	tables, err := Run("fig23", true)
+	if err != nil {
+		t.Fatalf("fig23: %v", err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("fig23 returned %d tables, want 1", len(tables))
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("fig23 has %d rows, want 3", len(rows))
+	}
+	viol := make(map[string]float64, 3)
+	for _, r := range rows {
+		viol[r[0]] = parseF(t, r[1])
+	}
+	noRetry, unbounded, budgeted := viol["no-retries"], viol["unbounded-retries"], viol["budgeted+breaker"]
+	if noRetry <= 0 || noRetry >= 1 {
+		t.Fatalf("no-retries violation rate %v outside (0,1): the crash window should hurt but not kill", noRetry)
+	}
+	if unbounded < noRetry+0.05 {
+		t.Errorf("retry storm too tame: unbounded-retries %.3f vs no-retries %.3f (want ≥ +0.05)", unbounded, noRetry)
+	}
+	if budgeted > noRetry+0.05 {
+		t.Errorf("budgeted retries not contained: budgeted+breaker %.3f vs no-retries %.3f (want ≤ +0.05)", budgeted, noRetry)
+	}
+	if budgeted >= unbounded {
+		t.Errorf("budgeted+breaker %.3f should beat unbounded-retries %.3f", budgeted, unbounded)
+	}
+}
+
+// TestFig23IdenticalAcrossWorkers is the CI determinism gate for the
+// resilience data plane: the retry-storm table must be byte-identical
+// whether its three variant simulations run on one worker or four.
+func TestFig23IdenticalAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+
+	parallel.SetWorkers(1)
+	sequential := renderAll(t, "fig23")
+	parallel.SetWorkers(4)
+	if got := renderAll(t, "fig23"); got != sequential {
+		t.Errorf("fig23 differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			sequential, got)
+	}
+}

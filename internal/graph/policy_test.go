@@ -1,0 +1,65 @@
+package graph
+
+import "testing"
+
+func TestSetPolicyCopies(t *testing.T) {
+	g := New("svc", "A")
+	p := EdgePolicy{TimeoutMs: 10, MaxAttempts: 3}
+	g.Root.SetPolicy(p)
+	p.TimeoutMs = 99 // mutating the caller's copy must not leak in
+	if g.Root.Policy.TimeoutMs != 10 || g.Root.Policy.MaxAttempts != 3 {
+		t.Fatalf("policy not copied: %+v", g.Root.Policy)
+	}
+}
+
+func TestClonePreservesPolicy(t *testing.T) {
+	g := New("svc", "A")
+	b := g.AddStage(g.Root, "B")[0]
+	b.SetPolicy(EdgePolicy{TimeoutMs: 25, MaxAttempts: 2})
+	c := g.Clone()
+	cb := c.NodesFor("B")[0]
+	if cb.Policy == nil || cb.Policy.TimeoutMs != 25 || cb.Policy.MaxAttempts != 2 {
+		t.Fatalf("clone lost edge policy: %+v", cb.Policy)
+	}
+	if cb.Policy == b.Policy {
+		t.Fatal("clone shares the policy pointer with the original")
+	}
+	cb.Policy.TimeoutMs = 1
+	if b.Policy.TimeoutMs != 25 {
+		t.Fatal("mutating the clone's policy affected the original")
+	}
+	if ca := c.Root; ca.Policy != nil {
+		t.Fatalf("clone invented a policy on the root: %+v", ca.Policy)
+	}
+}
+
+func TestMergePreservesPolicy(t *testing.T) {
+	// The merged graph carries each variant's policy on the corresponding
+	// node: the root from the first variant, per-child policies from
+	// whichever variant contributes the child.
+	v1 := New("svc", "A")
+	v1.Root.SetPolicy(EdgePolicy{TimeoutMs: 50})
+	b1 := v1.AddStage(v1.Root, "B")[0]
+	b1.SetPolicy(EdgePolicy{MaxAttempts: 4})
+	v2 := New("svc", "A")
+	v2.AddStage(v2.Root, "B")
+	v2.AddStage(v2.Root, "C")
+
+	m, err := Merge("svc", v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root.Policy == nil || m.Root.Policy.TimeoutMs != 50 {
+		t.Fatalf("merge lost the root policy: %+v", m.Root.Policy)
+	}
+	mb := m.NodesFor("B")[0]
+	if mb.Policy == nil || mb.Policy.MaxAttempts != 4 {
+		t.Fatalf("merge lost B's policy: %+v", mb.Policy)
+	}
+	if mb.Policy == b1.Policy {
+		t.Fatal("merge shares the policy pointer with the variant")
+	}
+	if mc := m.NodesFor("C")[0]; mc.Policy != nil {
+		t.Fatalf("merge invented a policy on C: %+v", mc.Policy)
+	}
+}

@@ -68,6 +68,20 @@ const (
 	CtrSimJobsRecycled = "erms.self.sim_jobs_recycled_total"
 	GaugeSimHeapPeak   = "erms.self.sim_event_heap_peak" // gauge: high-water event-heap depth
 
+	// Data-plane resilience (accumulated across evaluation windows; all zero
+	// unless the simulator runs with a sim.Resilience config).
+	CtrDataAttempts             = "erms.data.attempts_total"
+	CtrDataTimeouts             = "erms.data.timeouts_total"
+	CtrDataRetries              = "erms.data.retries_total"
+	CtrDataRetryBudgetExhausted = "erms.data.retry_budget_exhausted_total"
+	CtrDataBreakerOpens         = "erms.data.breaker_opens_total"
+	CtrDataBreakerShortCircuits = "erms.data.breaker_short_circuits_total"
+	CtrDataShed                 = "erms.data.shed_total"
+	CtrDataCrashFailures        = "erms.data.crash_failures_total"
+	CtrDataDeadlineSkips        = "erms.data.deadline_skips_total"
+	CtrDataUnavailable          = "erms.data.unavailable_total"
+	CtrDataErrors               = "erms.data.request_errors_total"
+
 	// Chaos events observed by the injector.
 	CtrChaosHostsFailed    = "erms.self.chaos_hosts_failed_total"
 	CtrChaosHostsRecovered = "erms.self.chaos_hosts_recovered_total"

@@ -24,3 +24,22 @@ func BenchmarkEngineSchedule(b *testing.B) {
 		b.Fatalf("fired %d, want %d", fired, b.N*64)
 	}
 }
+
+// TestEngineScheduleSteadyStateZeroAlloc is the allocation gate on the
+// simulator's innermost loop: once the heap's backing array is warm,
+// scheduling and draining events must not allocate. The resilience layer
+// must keep this true — its bookkeeping lives off the disabled path.
+func TestEngineScheduleSteadyStateZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	warm := func() {
+		for k := 0; k < 64; k++ {
+			eng.Schedule(float64((k*37)%64), fn)
+		}
+		eng.Run(eng.Now() + 64)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("engine schedule/drain allocates %.1f per wave, want 0", allocs)
+	}
+}

@@ -9,6 +9,17 @@ type Job struct {
 	Enqueued float64
 
 	onServed func()
+
+	// Resilience-only fields; zero on the disabled path.
+	// attempt is the issuing client attempt: once it settles (timeout,
+	// failure), the server drops the job at dequeue without executing it.
+	attempt *attemptState
+	// deadline is the absolute per-attempt deadline in ms (0 = none), used
+	// by admission control.
+	deadline float64
+	// onFailed delivers a server-side failure (shed, crash, unavailable) to
+	// the client attempt.
+	onFailed func(CallErr)
 }
 
 // Policy selects which queued job a freed worker thread serves next.

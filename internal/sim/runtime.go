@@ -85,8 +85,12 @@ type Config struct {
 	Routing Routing
 	// Failures injects container outages: each entry takes one container of
 	// the microservice down at AtMin and restores it at RecoverMin (0 = no
-	// recovery). Queued requests are re-routed to surviving containers;
-	// in-flight requests complete.
+	// recovery). Queued requests are re-routed to surviving containers. With
+	// Resilience disabled, in-flight requests complete silently and a
+	// microservice with zero survivors parks new arrivals at its first
+	// container until recovery; with Resilience enabled, a crash fails its
+	// in-flight requests with a retryable error (ErrCrashed) and zero
+	// survivors fail new calls fast (ErrUnavailable).
 	Failures []Failure
 	// DropMinutes lists simulation minutes whose observability is lost: no
 	// MinuteSamples are recorded and no traces starting in those minutes
@@ -102,6 +106,11 @@ type Config struct {
 	// ThinkTimeMs is the mean exponential think time between a closed-loop
 	// user's requests. Default 1000.
 	ThinkTimeMs float64
+	// Resilience enables the data-plane fault model: deadline propagation,
+	// budgeted retries, circuit breaking, admission control, and crash
+	// failure semantics. Nil (the default) keeps the historical infallible
+	// data plane — runs are byte-identical to earlier releases.
+	Resilience *Resilience
 }
 
 // Failure describes one injected outage. Two scopes exist:
@@ -141,6 +150,32 @@ func (c *Config) validate() error {
 	}
 	if c.DurationMin <= 0 {
 		return errors.New("sim: Config.DurationMin must be positive")
+	}
+	if c.WarmupMin < 0 {
+		return fmt.Errorf("sim: Config.WarmupMin %v must be >= 0", c.WarmupMin)
+	}
+	if c.WarmupMin >= c.DurationMin {
+		return fmt.Errorf("sim: Config.WarmupMin %v must be below DurationMin %v", c.WarmupMin, c.DurationMin)
+	}
+	if c.SampleRate < 0 || c.SampleRate > 1 {
+		return fmt.Errorf("sim: Config.SampleRate %v must be in [0,1]", c.SampleRate)
+	}
+	if c.NetworkDelayMs < 0 {
+		return fmt.Errorf("sim: Config.NetworkDelayMs %v must be >= 0", c.NetworkDelayMs)
+	}
+	if c.ThinkTimeMs < 0 {
+		return fmt.Errorf("sim: Config.ThinkTimeMs %v must be >= 0", c.ThinkTimeMs)
+	}
+	// Delta is accepted in [0,1]: Delta=0 is the documented strict-priority
+	// degeneration of the δ-policy (PriorityPolicy), which the motivation
+	// sweeps exercise deliberately.
+	if c.Delta < 0 || c.Delta > 1 {
+		return fmt.Errorf("sim: Config.Delta %v must be in [0,1]", c.Delta)
+	}
+	if c.Resilience != nil {
+		if err := c.Resilience.validate(); err != nil {
+			return err
+		}
 	}
 	if len(c.Graphs) == 0 {
 		return errors.New("sim: no dependency graphs")
@@ -188,11 +223,17 @@ type MinuteSample struct {
 	Containers int
 }
 
-// ServiceResult aggregates end-to-end request outcomes for one service.
+// ServiceResult aggregates end-to-end request outcomes for one service,
+// split along the workload.Outcome taxonomy: Count-Violations successes,
+// Violations slow completions, Errors outright failures.
 type ServiceResult struct {
 	Service    string
-	Count      int
+	Count      int // completed requests (success + slow)
 	Violations int // requests exceeding the SLA threshold (if an SLA was set)
+	// Errors counts requests that failed outright (deadline expired, retries
+	// exhausted, breaker open, shed, or crash). Always 0 with resilience
+	// disabled. Failed requests contribute no latency sample.
+	Errors int
 
 	lat *stats.Reservoir
 }
@@ -209,13 +250,29 @@ func (s *ServiceResult) Quantile(q float64) float64 { return s.lat.Quantile(q) }
 // Mean returns the mean end-to-end latency.
 func (s *ServiceResult) Mean() float64 { return stats.Mean(s.lat.Values()) }
 
-// ViolationRate returns the fraction of requests above the SLA threshold.
+// ViolationRate returns the fraction of requests that missed their SLA:
+// slow completions plus errors over everything issued. With resilience
+// disabled (Errors == 0) this is Violations/Count, exactly as before.
 func (s *ServiceResult) ViolationRate() float64 {
-	if s.Count == 0 {
+	total := s.Count + s.Errors
+	if total == 0 {
 		return 0
 	}
-	return float64(s.Violations) / float64(s.Count)
+	return float64(s.Violations+s.Errors) / float64(total)
 }
+
+// ErrorRate returns the fraction of requests that failed outright.
+func (s *ServiceResult) ErrorRate() float64 {
+	total := s.Count + s.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(total)
+}
+
+// Good returns the number of requests completed within the SLA threshold —
+// the numerator of goodput.
+func (s *ServiceResult) Good() int { return s.Count - s.Violations }
 
 // Result is the outcome of a simulation run.
 type Result struct {
@@ -232,6 +289,9 @@ type Result struct {
 	// Engine is the event engine's self-telemetry for the run, deterministic
 	// for a fixed seed.
 	Engine RunStats
+	// Data holds the data-plane resilience counters (all zero when
+	// Config.Resilience is nil).
+	Data DataStats
 }
 
 // RunStats bundles the run's engine counters with the job free-list's
@@ -254,6 +314,13 @@ type containerState struct {
 	down bool
 	// minuteCalls counts calls routed here in the current minute.
 	minuteCalls int
+	// gen counts crashes (resilience only). Completion events capture the
+	// generation they started under; a mismatch at fire time means the crash
+	// already failed the job and the event is stale.
+	gen int
+	// inflight tracks jobs being processed (resilience only), so a crash can
+	// fail them at the crash instant.
+	inflight []*Job
 }
 
 func (cs *containerState) inSystem() int { return cs.busy + len(cs.queue) }
@@ -285,6 +352,13 @@ type Runtime struct {
 
 	jobsAllocated int
 	jobsRecycled  int
+
+	// Resilience runtime (nil/zero when disabled — the hot path only pays
+	// `rt.res != nil` checks).
+	res      *Resilience
+	edges    map[*graph.Node]*edgeState
+	breakers map[string]*breaker
+	data     DataStats
 }
 
 // getJob takes a Job from the free list (or allocates one).
@@ -304,8 +378,21 @@ func (rt *Runtime) getJob(svc string, enqueued float64) *Job {
 // putJob recycles a Job whose service callback has been detached.
 func (rt *Runtime) putJob(j *Job) {
 	j.onServed = nil
+	j.onFailed = nil
+	j.attempt = nil
+	j.deadline = 0
 	rt.jobFree = append(rt.jobFree, j)
 	rt.jobsRecycled++
+}
+
+// failJob recycles the job and delivers a server-side failure to its client
+// attempt; the rejection still crosses the network back.
+func (rt *Runtime) failJob(j *Job, err CallErr) {
+	fail := j.onFailed
+	rt.putJob(j)
+	if fail != nil {
+		rt.eng.Schedule(rt.cfg.NetworkDelayMs, func() { fail(err) })
+	}
 }
 
 // NewRuntime validates the configuration and prepares a runtime.
@@ -337,6 +424,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	for _, m := range cfg.DropMinutes {
 		rt.dropMin[m] = true
+	}
+	if cfg.Resilience != nil {
+		res := cfg.Resilience.withDefaults()
+		rt.res = &res
+		rt.buildResilience()
 	}
 	for _, c := range cfg.Cluster.Containers() {
 		var pol Policy = FCFS{}
@@ -430,6 +522,7 @@ func (rt *Runtime) Run() *Result {
 		JobsAllocated: rt.jobsAllocated,
 		JobsRecycled:  rt.jobsRecycled,
 	}
+	rt.result.Data = rt.data
 	return rt.result
 }
 
@@ -476,10 +569,21 @@ func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) 
 	}
 	svc := g.Service
 
-	rt.execNode(svc, traceID, sampled, g.Root, "", -1, 0, func() {
+	// The request deadline (resilience only): derived from the SLA when
+	// configured, else the absolute request timeout. 0 = unbounded.
+	var deadline float64
+	if rt.res != nil {
+		if sla, ok := rt.cfg.SLAs[svc]; ok && rt.res.TimeoutSLAMultiple > 0 {
+			deadline = t0 + rt.res.TimeoutSLAMultiple*sla.Threshold
+		} else if rt.res.RequestTimeoutMs > 0 {
+			deadline = t0 + rt.res.RequestTimeoutMs
+		}
+	}
+
+	success := func() {
 		if measured {
 			res := rt.result.PerService[svc]
-			// onDone fires at the client-receive instant of the root call.
+			// Fires at the client-receive instant of the root call.
 			lat := rt.eng.Now() - t0
 			res.Count++
 			res.lat.Add(lat)
@@ -490,7 +594,19 @@ func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) 
 		if then != nil {
 			then()
 		}
-	})
+	}
+	var fail func(CallErr)
+	if rt.res != nil {
+		fail = func(CallErr) {
+			if measured {
+				rt.result.PerService[svc].Errors++
+			}
+			if then != nil {
+				then()
+			}
+		}
+	}
+	rt.execNode(svc, traceID, sampled, g.Root, "", -1, 0, deadline, success, fail)
 }
 
 // startClosedLoop spawns a closed-loop user population for one service: each
@@ -517,10 +633,98 @@ func (rt *Runtime) startClosedLoop(g *graph.Graph, users int, endMs, warmMs floa
 	}
 }
 
-// execNode runs one node: queue at a container of the node's microservice,
-// process, then execute downstream stages sequentially (parallel within a
-// stage), then signal completion.
-func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, onDone func()) {
+// execNode runs one call edge: on the infallible path (resilience disabled)
+// a single attempt that always completes; with resilience enabled, an
+// attempt loop with deadline propagation, breaker short-circuiting,
+// per-attempt timeouts, and budgeted retries with exponential backoff.
+// deadline is the absolute propagated deadline in ms (0 = none). onDone
+// fires on success; onFail (nil on the disabled path) receives the final
+// failure.
+func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, deadline float64, onDone func(), onFail func(CallErr)) {
+	if rt.res == nil {
+		rt.issueCall(svc, traceID, sampled, n, parentMS, parentID, stage, 0, nil, onDone, nil)
+		return
+	}
+	edge := rt.edges[n]
+	var tryAttempt func(attempt int)
+	tryAttempt = func(attempt int) {
+		now := rt.eng.Now()
+		// Deadline propagation: if the request cannot even reach the server
+		// before its propagated deadline, fail without executing.
+		if deadline > 0 && now+rt.cfg.NetworkDelayMs >= deadline {
+			rt.data.DeadlineSkips++
+			onFail(ErrDeadline)
+			return
+		}
+		if br := edge.breaker; br != nil && !br.allow(now) {
+			rt.data.BreakerShortCircuits++
+			onFail(ErrBreakerOpen)
+			return
+		}
+		attemptDeadline := deadline
+		if edge.timeoutMs > 0 {
+			if d := now + edge.timeoutMs; attemptDeadline == 0 || d < attemptDeadline {
+				attemptDeadline = d
+			}
+		}
+		at := &attemptState{}
+		settle := func(err CallErr) {
+			if at.settled {
+				return
+			}
+			at.settled = true
+			if br := edge.breaker; br != nil {
+				br.record(rt.eng.Now(), err != ErrNone, &rt.data)
+			}
+			if err == ErrNone {
+				if edge.earn > 0 {
+					edge.tokens += edge.earn
+					if edge.tokens > edge.burst {
+						edge.tokens = edge.burst
+					}
+				}
+				onDone()
+				return
+			}
+			if attempt+1 < edge.maxAttempts && err.retryable() {
+				if edge.earn == 0 || edge.tokens >= 1 {
+					if edge.earn > 0 {
+						edge.tokens--
+					}
+					backoff := rt.res.RetryBackoffMs * float64(uint(1)<<uint(attempt))
+					if rt.res.RetryJitter > 0 {
+						backoff *= 1 + rt.res.RetryJitter*rt.rng.Float64()
+					}
+					rt.data.Retries++
+					rt.eng.Schedule(backoff, func() { tryAttempt(attempt + 1) })
+					return
+				}
+				rt.data.RetryBudgetExhausted++
+			}
+			onFail(err)
+		}
+		if attemptDeadline > 0 {
+			rt.eng.At(attemptDeadline, func() {
+				if !at.settled {
+					rt.data.Timeouts++
+					settle(ErrTimeout)
+				}
+			})
+		}
+		rt.data.Attempts++
+		rt.issueCall(svc, traceID, sampled, n, parentMS, parentID, stage, attemptDeadline, at,
+			func() { settle(ErrNone) }, settle)
+	}
+	tryAttempt(0)
+}
+
+// issueCall performs one attempt of a call: queue at a container of the
+// node's microservice, process, then execute downstream stages sequentially
+// (parallel within a stage), then signal completion. attemptDeadline bounds
+// this attempt (0 = none); at is the client's settle guard (nil on the
+// disabled path); onFail (nil on the disabled path) receives server-side and
+// downstream failures.
+func (rt *Runtime) issueCall(svc string, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, attemptDeadline float64, at *attemptState, onDone func(), onFail func(CallErr)) {
 	clientSend := rt.eng.Now()
 	serverRecv := clientSend + rt.cfg.NetworkDelayMs
 	ms := n.Microservice
@@ -529,18 +733,41 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 	if ranks, ok := rt.cfg.Priorities[ms]; ok {
 		job.Priority = ranks[svc]
 	}
+	job.attempt = at
+	job.deadline = attemptDeadline
+	job.onFailed = onFail
 	job.onServed = func() {
 		// Own work done: record microservice latency (queue + processing).
 		latency := rt.eng.Now() - serverRecv
 		rt.recordNodeLatency(svc, ms, latency)
 
-		// Issue downstream stages.
+		// Issue downstream stages. settled flips when the call's outcome is
+		// decided: on the success path at response send, on the failure path
+		// at the first child failure (late siblings are ignored — their work
+		// is wasted, which is exactly how retry amplification arises).
+		settled := false
+		var childFail func(CallErr)
+		if onFail != nil {
+			childFail = func(err CallErr) {
+				if settled {
+					return
+				}
+				settled = true
+				rt.eng.Schedule(rt.cfg.NetworkDelayMs, func() { onFail(err) })
+			}
+		}
+		var childDeadline float64
+		if attemptDeadline > 0 {
+			// The response still needs one network hop after the children
+			// complete.
+			childDeadline = attemptDeadline - rt.cfg.NetworkDelayMs
+		}
 		var runStage func(k int)
 		runStage = func(k int) {
 			if k >= len(n.Stages) {
 				serverSend := rt.eng.Now()
 				clientRecv := serverSend + rt.cfg.NetworkDelayMs
-				if sampled {
+				if sampled && (at == nil || !at.settled) {
 					rt.cfg.Observer.ObserveCall(CallRecord{
 						TraceID:            traceID,
 						Service:            svc,
@@ -555,6 +782,7 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 						ClientRecv:         clientRecv,
 					})
 				}
+				settled = true
 				// The caller resumes only once the response has crossed the
 				// network, at clientRecv.
 				rt.eng.At(clientRecv, onDone)
@@ -562,12 +790,15 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 			}
 			remaining := len(n.Stages[k])
 			for _, child := range n.Stages[k] {
-				rt.execNode(svc, traceID, sampled, child, ms, n.ID, k, func() {
+				rt.execNode(svc, traceID, sampled, child, ms, n.ID, k, childDeadline, func() {
+					if settled {
+						return
+					}
 					remaining--
 					if remaining == 0 {
 						runStage(k + 1)
 					}
-				})
+				}, childFail)
 			}
 		}
 		runStage(0)
@@ -576,21 +807,44 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 	rt.eng.At(serverRecv, func() { rt.enqueue(ms, job) })
 }
 
-// kick starts queued work on free threads (used after recovery).
+// kick starts queued work on free threads (after a completion or recovery).
+// With resilience enabled, jobs whose client attempt already settled (the
+// per-attempt timeout fired while they queued) are dropped without executing
+// — the server side of deadline propagation.
 func (rt *Runtime) kick(cs *containerState) {
 	for len(cs.queue) > 0 && cs.busy < cs.c.Spec.Threads {
 		idx := cs.policy.Pick(cs.queue, rt.rng)
 		next := cs.queue[idx]
 		cs.queue = append(cs.queue[:idx], cs.queue[idx+1:]...)
+		if rt.res != nil && next.attempt != nil && next.attempt.settled {
+			rt.data.DeadlineSkips++
+			rt.putJob(next)
+			continue
+		}
 		rt.startJob(cs, next)
 	}
 }
 
-// failContainer marks a container down and re-routes its queued work.
+// failContainer marks a container down and re-routes its queued work. With
+// resilience enabled the crash also severs in-flight work: each processing
+// request fails at the crash instant with the retryable ErrCrashed instead
+// of silently completing, and completion events already in the heap become
+// stale via the generation counter.
 func (rt *Runtime) failContainer(cs *containerState) {
 	cs.down = true
 	queued := cs.queue
 	cs.queue = nil
+	if rt.res != nil {
+		cs.gen++
+		inflight := cs.inflight
+		cs.inflight = nil
+		cs.busy = 0
+		rt.updateUsage(cs)
+		for _, job := range inflight {
+			rt.data.CrashFailures++
+			rt.failJob(job, ErrCrashed)
+		}
+	}
 	for _, job := range queued {
 		rt.enqueue(cs.c.Spec.Microservice, job)
 	}
@@ -601,8 +855,10 @@ func (rt *Runtime) failContainer(cs *containerState) {
 func (rt *Runtime) enqueue(ms string, job *Job) {
 	all := rt.byMS[ms]
 	states := all
-	// Skip downed containers when any replica survives; with none left the
-	// job queues at the first container and drains on recovery.
+	// Skip downed containers when any replica survives. With none left the
+	// behaviour is pinned per fault model: resilience disabled parks the job
+	// at the first container until recovery (the historical contract);
+	// resilience enabled fails fast with the retryable ErrUnavailable.
 	var up []*containerState
 	for _, s := range all {
 		if !s.down {
@@ -611,6 +867,10 @@ func (rt *Runtime) enqueue(ms string, job *Job) {
 	}
 	if len(up) > 0 {
 		states = up
+	} else if rt.res != nil {
+		rt.data.Unavailable++
+		rt.failJob(job, ErrUnavailable)
+		return
 	}
 	var cs *containerState
 	switch {
@@ -628,6 +888,19 @@ func (rt *Runtime) enqueue(ms string, job *Job) {
 		i := rt.rrNext[ms] % len(states)
 		rt.rrNext[ms] = i + 1
 		cs = states[i]
+	}
+	if rt.res != nil {
+		if job.attempt != nil && job.attempt.settled {
+			// The client gave up while the job was re-routed after a crash.
+			rt.data.DeadlineSkips++
+			rt.putJob(job)
+			return
+		}
+		if rt.shouldShed(cs, job) {
+			rt.data.Shed++
+			rt.failJob(job, ErrShed)
+			return
+		}
 	}
 	cs.minuteCalls++
 	if rt.eng.Now() >= rt.warmMs {
@@ -655,7 +928,19 @@ func (rt *Runtime) startJob(cs *containerState, job *Job) {
 	inflation := rt.cfg.Interference.HostInflation(cs.c.Host)
 	s := base * inflation
 
+	gen := cs.gen
+	if rt.res != nil {
+		cs.inflight = append(cs.inflight, job)
+	}
 	rt.eng.Schedule(s, func() {
+		if rt.res != nil {
+			if cs.gen != gen {
+				// The container crashed with this job in flight; the crash
+				// already failed and recycled it. The completion is stale.
+				return
+			}
+			rt.dropInflight(cs, job)
+		}
 		cs.busy--
 		rt.updateUsage(cs)
 		// Detach the callback and recycle the record before running it: the
@@ -663,13 +948,21 @@ func (rt *Runtime) startJob(cs *containerState, job *Job) {
 		served := job.onServed
 		rt.putJob(job)
 		served()
-		if !cs.down && len(cs.queue) > 0 && cs.busy < cs.c.Spec.Threads {
-			idx := cs.policy.Pick(cs.queue, rt.rng)
-			next := cs.queue[idx]
-			cs.queue = append(cs.queue[:idx], cs.queue[idx+1:]...)
-			rt.startJob(cs, next)
+		if !cs.down {
+			rt.kick(cs)
 		}
 	})
+}
+
+// dropInflight removes a completing job from the container's in-flight list
+// (resilience only; the list is bounded by the thread count).
+func (rt *Runtime) dropInflight(cs *containerState, job *Job) {
+	for i, j := range cs.inflight {
+		if j == job {
+			cs.inflight = append(cs.inflight[:i], cs.inflight[i+1:]...)
+			return
+		}
+	}
 }
 
 // updateUsage reflects the container's instantaneous thread occupancy into

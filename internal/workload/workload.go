@@ -42,6 +42,51 @@ func P95SLA(service string, thresholdMs float64) SLA {
 	return SLA{Service: service, Threshold: thresholdMs, Percentile: 0.95}
 }
 
+// Outcome classifies one end-to-end request against an SLA. The paper's
+// infallible data plane only distinguished fast from slow; with the
+// resilience layer a request can also fail outright (deadline expired,
+// retries exhausted, breaker open, shed, or the serving container crashed).
+type Outcome int
+
+// Request outcomes.
+const (
+	// OutcomeSuccess: completed within the SLA threshold.
+	OutcomeSuccess Outcome = iota
+	// OutcomeSlow: completed, but above the SLA threshold.
+	OutcomeSlow
+	// OutcomeError: failed; no response reached the client.
+	OutcomeError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeSlow:
+		return "slow"
+	case OutcomeError:
+		return "error"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Classify maps one request to its outcome: failed requests are errors
+// regardless of timing; completed requests are slow when their latency
+// exceeds the SLA threshold. A zero-threshold SLA (no bound configured)
+// never classifies a completed request as slow.
+func (s SLA) Classify(latencyMs float64, failed bool) Outcome {
+	switch {
+	case failed:
+		return OutcomeError
+	case s.Threshold > 0 && latencyMs > s.Threshold:
+		return OutcomeSlow
+	default:
+		return OutcomeSuccess
+	}
+}
+
 // Pattern yields the offered load of one service as a function of time.
 type Pattern interface {
 	// RateAt returns the arrival rate in requests per minute at time t

@@ -208,3 +208,33 @@ func TestPatternStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestSLAClassify(t *testing.T) {
+	sla := P95SLA("svc", 100)
+	cases := []struct {
+		latency float64
+		failed  bool
+		want    Outcome
+	}{
+		{50, false, OutcomeSuccess},
+		{100, false, OutcomeSuccess}, // at the threshold is within SLA
+		{150, false, OutcomeSlow},
+		{50, true, OutcomeError},
+		{150, true, OutcomeError}, // failure dominates slowness
+	}
+	for _, tc := range cases {
+		if got := sla.Classify(tc.latency, tc.failed); got != tc.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", tc.latency, tc.failed, got, tc.want)
+		}
+	}
+	// No threshold configured: nothing is slow, failures still error.
+	free := SLA{Service: "svc"}
+	if got := free.Classify(1e9, false); got != OutcomeSuccess {
+		t.Errorf("unthresholded Classify = %v, want success", got)
+	}
+	for _, o := range []Outcome{OutcomeSuccess, OutcomeSlow, OutcomeError} {
+		if o.String() == "" {
+			t.Errorf("Outcome(%d) has no name", o)
+		}
+	}
+}

@@ -16,12 +16,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-# The self-observability layer promises a free disabled path: every obs
-# call on a nil recorder must cost zero allocations. testing.AllocsPerRun
-# is meaningless under -race (the detector itself allocates), so the gate
-# runs without it.
-echo "== zero-alloc gate (obs disabled path) =="
-go test -run 'ZeroAlloc' -count=1 ./internal/obs
+# Zero-allocation promises, checked outside -race (the detector itself
+# allocates, so testing.AllocsPerRun is meaningless there): every obs call
+# on a nil recorder is free, and the simulator's event loop stays
+# allocation-free in steady state — including with the resilience layer
+# compiled in but disabled.
+echo "== zero-alloc gates (obs disabled path, sim engine) =="
+go test -run 'ZeroAlloc' -count=1 ./internal/obs ./internal/sim
 
 # The race pass above runs every package once at the default worker count.
 # Re-run the chaos determinism gate explicitly at two pool sizes: the fault
@@ -30,3 +31,10 @@ go test -run 'ZeroAlloc' -count=1 ./internal/obs
 echo "== chaos determinism (workers=1 vs 4) =="
 go test -run 'TestFaultTablesIdenticalAcrossWorkers|TestGenerateDeterministic' \
 	./internal/experiments ./internal/chaos
+
+# The data-plane resilience gate: the fig23 retry-storm experiment (seeded
+# retries with jittered backoff, breakers, shedding) must render
+# byte-identical tables at one worker and four, and must reproduce the
+# headline ordering (unbounded retries worst, budgeted ≈ no retries).
+echo "== resilience determinism (fig23, workers=1 vs 4) =="
+go test -run 'TestFig23' -count=1 ./internal/experiments
