@@ -127,6 +127,11 @@ func BenchmarkFig21ExactGap(b *testing.B) { runExperiment(b, "fig21") }
 // naive Erms, Firm) under the standard seeded fault schedule.
 func BenchmarkFig22FaultInjection(b *testing.B) { runExperiment(b, "fig22") }
 
+// BenchmarkFigScale regenerates the planner-scalability comparison (§6.5.2):
+// naive per-window planning versus compiled plan templates on exact-shape
+// Alibaba-scale topologies.
+func BenchmarkFigScale(b *testing.B) { runExperiment(b, "figScale") }
+
 // --- micro-benchmarks on the core primitives -----------------------------
 
 // BenchmarkPlanHotel times one full Online Scaling pass (graph merge +

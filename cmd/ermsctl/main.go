@@ -17,6 +17,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,6 +49,9 @@ func main() {
 		loadApp  = flag.String("load-app", "", "load the application from a JSON file (overrides -app)")
 		workers  = flag.Int("parallel", 0, "worker-pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 
+	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (view with `go tool pprof`)")
+	memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
 		doChaos    = flag.Bool("chaos", false, "run the control loop under a seeded fault schedule and print per-window reports")
 		chaosWin   = flag.Int("chaos-windows", 8, "scaling windows for -chaos (each -minutes long)")
 		chaosNaive = flag.Bool("chaos-naive", false, "disable resilience for -chaos: no retry, no degraded mode, no replacement scheduling")
@@ -63,6 +68,41 @@ func main() {
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	// Profile defers are registered first so they run last: with -obs-addr,
+	// holdForScrape blocks until interrupt, and the profiles are written
+	// after it returns (the CPU profile then also covers the held period,
+	// which samples approximately nothing while idle).
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", path)
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		path := *cpuProf
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", path)
+		}()
+	}
 
 	var app *erms.App
 	switch *appName {

@@ -17,12 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"erms/internal/graph"
 	"erms/internal/parallel"
 	"erms/internal/profiling"
 	"erms/internal/scaling"
+	"erms/internal/sortutil"
 	"erms/internal/workload"
 )
 
@@ -114,12 +114,7 @@ func finalize(in Input, name string, targets map[string]float64) *scaling.Alloca
 		UsedHigh:      make(map[string]bool),
 	}
 	// Sorted iteration keeps the usage float sum bit-stable run to run.
-	mss := make([]string, 0, len(targets))
-	for ms := range targets {
-		mss = append(mss, ms)
-	}
-	sort.Strings(mss)
-	for _, ms := range mss {
+	for _, ms := range sortutil.Keys(targets) {
 		t := targets[ms]
 		m := in.Models[ms]
 		raw := sizeForTarget(m, in.Workloads[ms], t, in.CPUUtil, in.MemUtil)
@@ -295,12 +290,7 @@ func (f Firm) Plan(in Input) (*scaling.Allocation, error) {
 		Containers:    containers,
 		UsedHigh:      make(map[string]bool),
 	}
-	mss := make([]string, 0, len(containers))
-	for ms := range containers {
-		mss = append(mss, ms)
-	}
-	sort.Strings(mss)
-	for _, ms := range mss {
+	for _, ms := range sortutil.Keys(containers) {
 		n := containers[ms]
 		per := in.Workloads[ms] / float64(n)
 		alloc.Targets[ms] = in.Models[ms].Predict(per, in.CPUUtil, in.MemUtil)
@@ -330,11 +320,7 @@ func PlanServices(scaler Autoscaler, inputs map[string]Input, loads map[string]m
 	// Services size independently under a baseline autoscaler, so they fan
 	// out like Erms' per-service decomposition; the merge folds allocations
 	// back in sorted service order.
-	svcs := make([]string, 0, len(inputs))
-	for svc := range inputs {
-		svcs = append(svcs, svc)
-	}
-	sort.Strings(svcs)
+	svcs := sortutil.Keys(inputs)
 	allocs, err := parallel.Map(len(svcs), func(i int) (*scaling.Allocation, error) {
 		svc := svcs[i]
 		in := inputs[svc]
@@ -373,9 +359,10 @@ func aggregateShared(shared []string, loads map[string]map[string]float64) map[s
 	for _, ms := range shared {
 		sharedSet[ms] = true
 	}
+	// Fold contributions in sorted service order so totals are bit-stable.
 	totals := make(map[string]float64)
-	for _, byMS := range loads {
-		for ms, g := range byMS {
+	for _, svc := range sortutil.Keys(loads) {
+		for ms, g := range loads[svc] {
 			if sharedSet[ms] {
 				totals[ms] += g
 			}

@@ -62,6 +62,14 @@ func WithResilience(r *sim.Resilience) Option {
 	return func(c *Controller) { c.Resilience = r }
 }
 
+// WithoutPlanTemplates disables the compiled-plan-template cache, forcing
+// every window through the naive scaling path. Output is bit-identical
+// either way; this exists for benchmarking the naive path and as an escape
+// hatch.
+func WithoutPlanTemplates() Option {
+	return func(c *Controller) { c.PlanCache = nil }
+}
+
 // Controller is the Erms resource manager for one application on one
 // cluster.
 type Controller struct {
@@ -93,7 +101,21 @@ type Controller struct {
 	// evaluation simulation (see sim.Resilience).
 	Resilience *sim.Resilience
 
+	// PlanCache memoizes compiled plan templates per service (on by
+	// default): steady-state windows replay the precompiled Algorithm-1
+	// reduction instead of re-validating and re-merging every graph, with
+	// automatic invalidation when graphs, models, shares, or the SLA change.
+	// Nil (WithoutPlanTemplates) plans naively. Either way the produced
+	// plans are bit-identical.
+	PlanCache *scaling.TemplateCache
+
 	scheduler kube.Scheduler
+	// sharesCache memoizes the per-microservice dominant shares, which only
+	// depend on container specs and total cluster capacity; it refreshes
+	// whenever capacity changes (e.g. chaos host loss).
+	sharesCores float64
+	sharesMemMB float64
+	shares      map[string]float64
 }
 
 // New creates a controller. The orchestrator's cluster must be the one the
@@ -114,6 +136,7 @@ func New(app *apps.App, orch *kube.Orchestrator, opts ...Option) (*Controller, e
 		Scheme:       multiplex.SchemePriority,
 		Delta:        0.05,
 		Interference: cluster.DefaultInterference,
+		PlanCache:    scaling.NewTemplateCache(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -170,11 +193,8 @@ func (c *Controller) Plan(rates map[string]float64) (*multiplex.Plan, error) {
 	}
 	cl := c.Orch.Cluster()
 	cpu, mem := cl.MeanCPUUtil(), cl.MeanMemUtil()
+	shares := c.dominantShares(cl)
 	inputs := make(map[string]scaling.Input, len(c.App.Graphs))
-	shares := make(map[string]float64, len(c.App.Containers))
-	for ms, spec := range c.App.Containers {
-		shares[ms] = cl.DominantShare(spec)
-	}
 	for _, g := range c.App.Graphs {
 		inputs[g.Service] = scaling.Input{
 			Graph:   g,
@@ -185,11 +205,34 @@ func (c *Controller) Plan(rates map[string]float64) (*multiplex.Plan, error) {
 			MemUtil: mem,
 		}
 	}
-	plan, err := multiplex.PlanScheme(c.Scheme, inputs, c.Loads(rates), c.App.Shared())
+	plan, err := multiplex.PlanSchemeCached(c.Scheme, inputs, c.Loads(rates), c.App.Shared(), c.PlanCache)
 	if err == nil {
 		c.Obs.Inc(obs.CtrPlans)
+		if c.Obs != nil && c.PlanCache != nil {
+			st := c.PlanCache.Stats()
+			c.Obs.Set(obs.CtrPlanTemplateHits, float64(st.Hits))
+			c.Obs.Set(obs.CtrPlanTemplateCompiles, float64(st.Compiles))
+			c.Obs.Set(obs.CtrPlanTemplateInvalidations, float64(st.Invalidations))
+		}
 	}
 	return plan, err
+}
+
+// dominantShares returns the per-microservice dominant resource share,
+// cached: shares depend only on the container specs and the cluster's total
+// capacity, so the map is rebuilt only when capacity changes (host loss or
+// recovery), not every window.
+func (c *Controller) dominantShares(cl *cluster.Cluster) map[string]float64 {
+	cores, mem := cl.TotalCores(), cl.TotalMemMB()
+	if c.shares != nil && cores == c.sharesCores && mem == c.sharesMemMB {
+		return c.shares
+	}
+	shares := make(map[string]float64, len(c.App.Containers))
+	for ms, spec := range c.App.Containers {
+		shares[ms] = cl.DominantShare(spec)
+	}
+	c.shares, c.sharesCores, c.sharesMemMB = shares, cores, mem
+	return shares
 }
 
 // Explain renders the Algorithm 1 merge tree and latency-target derivation
@@ -205,10 +248,7 @@ func (c *Controller) Explain(service string, rates map[string]float64) (string, 
 		return "", fmt.Errorf("core: unknown service %s", service)
 	}
 	cl := c.Orch.Cluster()
-	shares := make(map[string]float64, len(c.App.Containers))
-	for ms, spec := range c.App.Containers {
-		shares[ms] = cl.DominantShare(spec)
-	}
+	shares := c.dominantShares(cl)
 	in := scaling.Input{
 		Graph:     g,
 		SLA:       c.App.SLAs[service],

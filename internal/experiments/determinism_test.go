@@ -57,3 +57,40 @@ func TestTablesStableAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// renderDeterministic renders only a driver's deterministic tables, dropping
+// any whose ID marks them as wall-clock (the "-time" suffix).
+func renderDeterministic(t *testing.T, id string) string {
+	t.Helper()
+	tables, err := Run(id, true)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var sb strings.Builder
+	for _, tab := range tables {
+		if strings.HasSuffix(tab.ID, "-time") {
+			continue
+		}
+		tab.Fprint(&sb)
+	}
+	return sb.String()
+}
+
+// TestFigScaleDeterministicAcrossWorkers pins the figScale contract: the
+// deterministic table (topology shape, plan size, naive-vs-compiled
+// bit-identity) is byte-identical whether the parallel planner runs on one
+// worker or four. The wall-clock companion table is masked out, as fig17 and
+// fig20 are excluded from TestTablesIdenticalAcrossWorkers.
+func TestFigScaleDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	w1 := renderDeterministic(t, "figScale")
+	parallel.SetWorkers(4)
+	w4 := renderDeterministic(t, "figScale")
+	if w1 != w4 {
+		t.Errorf("figScale differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", w1, w4)
+	}
+	if !strings.Contains(w1, "true") || strings.Contains(w1, "false") {
+		t.Errorf("figScale: compiled plans not bit-identical to naive:\n%s", w1)
+	}
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -341,6 +342,98 @@ func TestEndToEndUpperBoundProperty(t *testing.T) {
 		return g.EndToEnd(f) >= e2e+5-1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonGraph renders a graph as an ID-free canonical signature: microservice
+// names with edge policies, stage grouping and in-stage order. Two graphs
+// with equal signatures are identical up to node-ID assignment (which Merge
+// legitimately renumbers).
+func canonGraph(n *Node) string {
+	var sb strings.Builder
+	sb.WriteString(n.Microservice)
+	if n.Policy != nil {
+		sb.WriteString("{")
+		sb.WriteString(strconv.FormatFloat(n.Policy.TimeoutMs, 'g', -1, 64))
+		sb.WriteString(",")
+		sb.WriteString(strconv.Itoa(n.Policy.MaxAttempts))
+		sb.WriteString("}")
+	}
+	for _, st := range n.Stages {
+		sb.WriteString("(")
+		for i, c := range st {
+			if i > 0 {
+				sb.WriteString("|")
+			}
+			sb.WriteString(canonGraph(c))
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// requireSameGraph fails unless two graphs have identical canonical
+// signatures (structure, names, order, and edge policies).
+func requireSameGraph(t *testing.T, want, got *Graph, ctx string) {
+	t.Helper()
+	if got.Service != want.Service || got.Len() != want.Len() {
+		t.Fatalf("%s: service/size %s/%d, want %s/%d", ctx, got.Service, got.Len(), want.Service, want.Len())
+	}
+	if w, g := canonGraph(want.Root), canonGraph(got.Root); w != g {
+		t.Fatalf("%s: structure diverged:\n--- want ---\n%s\n--- got ---\n%s", ctx, w, g)
+	}
+}
+
+// policyTree decorates a random tree with edge policies on every third node,
+// so idempotency also covers the first-policy-wins merge rule.
+func policyTree(r *stats.RNG, n int) *Graph {
+	g := randomTree(r, n)
+	for i, node := range g.PreOrder() {
+		if i%3 == 1 {
+			node.SetPolicy(EdgePolicy{
+				TimeoutMs:   5 + 10*r.Float64(),
+				MaxAttempts: 1 + r.Intn(3),
+			})
+		}
+	}
+	return g
+}
+
+// TestMergeIdempotent pins the template-cache precondition that makes graph
+// fingerprints stable: merging a graph with itself (or alone) is the
+// identity, structurally and for edge policies.
+func TestMergeIdempotent(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed) + 7)
+		g := policyTree(r, 2+r.Intn(40))
+		one, err := Merge("svc", g)
+		if err != nil {
+			t.Fatalf("seed %d: Merge(g): %v", seed, err)
+		}
+		requireSameGraph(t, g, one, "Merge(g)")
+		twice, err := Merge("svc", g, g)
+		if err != nil {
+			t.Fatalf("seed %d: Merge(g, g): %v", seed, err)
+		}
+		requireSameGraph(t, g, twice, "Merge(g, g)")
+		// Merging an already-merged graph with a variant changes nothing
+		// more: Merge(Merge(a, b), b) == Merge(a, b).
+		h := policyTree(stats.NewRNG(uint64(seed)+977), 2+r.Intn(40))
+		hRe := h.Clone()
+		hRe.Root.Microservice = g.Root.Microservice
+		m1, err := Merge("svc", g, hRe)
+		if err != nil {
+			t.Fatalf("seed %d: Merge(g, h): %v", seed, err)
+		}
+		m2, err := Merge("svc", m1, hRe)
+		if err != nil {
+			t.Fatalf("seed %d: Merge(m1, h): %v", seed, err)
+		}
+		requireSameGraph(t, m1, m2, "Merge(m1, h)")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"erms/internal/parallel"
 	"erms/internal/scaling"
+	"erms/internal/sortutil"
 )
 
 // AssignPriorities ranks the services at every shared microservice by their
@@ -56,27 +57,41 @@ func AssignPriorities(initial map[string]*scaling.Allocation, shared []string) m
 // cumulative workload Σ_{l ≤ k} γ_{l,i} — its requests wait behind all
 // higher-priority traffic. Non-shared microservices keep their own load.
 // loads[svc][ms] is each service's own call rate at each microservice.
+//
+// The cumulative sums are hoisted out of the per-service loop: each shared
+// microservice orders its services by rank (dense 0..n-1 as produced by
+// AssignPriorities; out-of-range ranks are ignored) and prefix-sums once —
+// O(services) per microservice rather than O(services²), and the fold runs
+// in rank order so the float sums are bit-stable regardless of map
+// iteration order.
 func ModifiedWorkloads(ranks map[string]map[string]int, loads map[string]map[string]float64) map[string]map[string]float64 {
+	cums := make(map[string]map[string]float64, len(ranks))
+	for ms, rank := range ranks {
+		byRank := make([]string, len(rank))
+		for svc, r := range rank {
+			if r >= 0 && r < len(byRank) {
+				byRank[r] = svc
+			}
+		}
+		cum := 0.0
+		c := make(map[string]float64, len(rank))
+		for _, svc := range byRank {
+			if svc == "" {
+				continue
+			}
+			cum += loads[svc][ms]
+			c[svc] = cum
+		}
+		cums[ms] = c
+	}
 	out := make(map[string]map[string]float64, len(loads))
 	for svc, byMS := range loads {
 		m := make(map[string]float64, len(byMS))
 		for ms, own := range byMS {
 			m[ms] = own
-			rank, ok := ranks[ms]
-			if !ok {
-				continue
+			if cum, ok := cums[ms][svc]; ok {
+				m[ms] = cum
 			}
-			myRank, ok := rank[svc]
-			if !ok {
-				continue
-			}
-			cum := 0.0
-			for other, r := range rank {
-				if r <= myRank {
-					cum += loads[other][ms]
-				}
-			}
-			m[ms] = cum
 		}
 		out[svc] = m
 	}
@@ -91,9 +106,11 @@ func FCFSWorkloads(shared []string, loads map[string]map[string]float64) map[str
 	for _, ms := range shared {
 		sharedSet[ms] = true
 	}
+	// Fold service contributions in sorted order so each total is bit-stable
+	// run to run.
 	totals := make(map[string]float64)
-	for _, byMS := range loads {
-		for ms, g := range byMS {
+	for _, svc := range sortutil.Keys(loads) {
+		for ms, g := range loads[svc] {
 			if sharedSet[ms] {
 				totals[ms] += g
 			}
@@ -175,6 +192,16 @@ func (p *Plan) TotalContainers() int {
 // its microservices (requests/minute). shared lists the microservices
 // multiplexed across services.
 func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string]map[string]float64, shared []string) (*Plan, error) {
+	return PlanSchemeCached(scheme, inputs, loads, shared, nil)
+}
+
+// PlanSchemeCached is PlanScheme backed by a template cache: each service's
+// per-window scaling plan replays its compiled template instead of
+// re-running validation and the Algorithm-1 reduction. The output is
+// bit-identical to PlanScheme's — a nil cache degrades to the naive path.
+// Distinct services plan concurrently without contention (the cache is
+// keyed by service and each template carries its own lock).
+func PlanSchemeCached(scheme Scheme, inputs map[string]scaling.Input, loads map[string]map[string]float64, shared []string, cache *scaling.TemplateCache) (*Plan, error) {
 	if len(inputs) == 0 {
 		return nil, errors.New("multiplex: no services")
 	}
@@ -202,7 +229,8 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 			svc := svcs[i]
 			in := inputs[svc]
 			in.Workloads = workloads[svc]
-			alloc, err := scaling.Plan(in)
+			// cache.Plan on a nil cache is the naive scaling.Plan.
+			alloc, err := cache.Plan(in)
 			if err != nil {
 				return nil, fmt.Errorf("multiplex: service %s: %w", svc, err)
 			}
@@ -228,7 +256,7 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 		if err != nil {
 			return nil, err
 		}
-		for _, svc := range sortedKeys(plan.PerService) {
+		for _, svc := range sortutil.Keys(plan.PerService) {
 			alloc := plan.PerService[svc]
 			for ms, n := range alloc.Containers {
 				plan.Containers[ms] += n
@@ -267,9 +295,9 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 	// bit-stable run to run.
 	rawMax := make(map[string]float64)
 	shareOf := make(map[string]float64)
-	for _, svc := range sortedKeys(plan.PerService) {
+	for _, svc := range sortutil.Keys(plan.PerService) {
 		alloc := plan.PerService[svc]
-		for _, ms := range sortedKeys(alloc.Containers) {
+		for _, ms := range sortutil.Keys(alloc.Containers) {
 			n := alloc.Containers[ms]
 			if !sharedSet[ms] {
 				plan.Containers[ms] += n
@@ -285,21 +313,10 @@ func PlanScheme(scheme Scheme, inputs map[string]scaling.Input, loads map[string
 			shareOf[ms] = inputs[svc].Shares[ms]
 		}
 	}
-	for _, ms := range sortedKeys(rawMax) {
+	for _, ms := range sortutil.Keys(rawMax) {
 		plan.ResourceUsage += rawMax[ms] * shareOf[ms]
 	}
 	return plan, nil
-}
-
-// sortedKeys returns a map's keys in sorted order, for deterministic
-// iteration wherever floats are accumulated or ties broken.
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 func copyLoads(loads map[string]map[string]float64) map[string]map[string]float64 {

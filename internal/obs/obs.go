@@ -62,6 +62,12 @@ const (
 	CtrApplies        = "erms.self.applies_total"
 	CtrApplyRollbacks = "erms.self.apply_rollbacks_total"
 
+	// Compiled plan templates (cumulative cache effectiveness; the cache
+	// reports running totals, so these are Set rather than Add).
+	CtrPlanTemplateHits          = "erms.self.plan_template_hits_total"
+	CtrPlanTemplateCompiles      = "erms.self.plan_template_compiles_total"
+	CtrPlanTemplateInvalidations = "erms.self.plan_template_invalidations_total"
+
 	// Simulation engine (accumulated across evaluation windows).
 	CtrSimEvents       = "erms.self.sim_events_total"
 	CtrSimJobsAlloc    = "erms.self.sim_jobs_allocated_total"

@@ -1,0 +1,612 @@
+// Compiled plan templates: the per-window hot path of Latency Target
+// Computation, factored so that everything static across reconciler windows
+// (graph validation, the Algorithm-1 merge/chain reduction, unwind order,
+// per-microservice lookups) runs once at Compile time, and the per-window
+// Plan only re-evaluates A_i = a_i·γ_i and the closed-form Eq. 5 split over
+// flat, pre-ordered slices. The evaluation replays the exact float operations
+// of the naive path (same operand order, same summation order, same clamps)
+// so a Template's output is bit-identical to Plan's — the golden experiment
+// tables cannot tell the two apart.
+package scaling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"erms/internal/graph"
+	"erms/internal/profiling"
+)
+
+// opKind distinguishes compiled merge-tree ops; values mirror mergeKind.
+type opKind uint8
+
+const (
+	opLeaf opKind = iota
+	opSeq
+	opPar
+)
+
+// planOp is one node of the compiled merge tree in flat form. Kids are a
+// span into Template.kids, always emitted before their parent (post-order),
+// so a single forward sweep over ops evaluates the whole reduction.
+type planOp struct {
+	kind opKind
+	// ms indexes Template.mss for leaves; -1 otherwise.
+	ms int32
+	// kidStart/kidEnd span Template.kids for seq/par ops.
+	kidStart, kidEnd int32
+}
+
+// Template is a compiled plan for one service: the Algorithm-1 reduction of
+// its dependency graph with per-microservice bindings resolved. Obtain one
+// with Compile; re-evaluate it each window with Plan. A Template is
+// internally locked, so concurrent Plan calls are safe (they serialize);
+// distinct Templates never contend.
+type Template struct {
+	// Service names the compiled service (== Graph.Service at compile time).
+	Service string
+	// SLA captured at compile time (part of the fingerprint).
+	slaThreshold  float64
+	slaPercentile float64
+
+	// mss lists the distinct microservices in sorted order; all per-ms
+	// slices below are indexed by position in mss.
+	mss    []string
+	models []profiling.Model
+	shares []float64
+	caps   []float64
+	capOK  []bool
+
+	// ops is the merge tree in post-order (kids before parents); kids is the
+	// shared child-index arena; pre is the root-first unwind order, visiting
+	// ops exactly as the naive recursive unwind does (so error precedence
+	// and target assignment order match bit for bit).
+	ops  []planOp
+	kids []int32
+	pre  []int32
+	root int32
+
+	// structHash fingerprints the graph shape (service, node count, DFS of
+	// microservice names and stage widths); paramHash fingerprints SLA,
+	// shares, caps, and model probes. TemplateCache uses the pair to decide
+	// hit vs. recompile.
+	structHash uint64
+	paramHash  uint64
+
+	mu      sync.Mutex
+	scratch evalScratch
+}
+
+// evalScratch holds the per-evaluation working set, reused across windows so
+// the steady-state path performs no per-op allocation.
+type evalScratch struct {
+	// Per-op state for one pass.
+	A, B, R, p, q []float64
+	target        []float64
+	// Per-microservice state.
+	gamma, aArr, bArr, knee []float64
+	useHigh                 []bool
+	tTarget, tRaw           []float64
+}
+
+// Compile validates the input once, runs the Algorithm-1 merge/chain
+// reduction once, and captures unwind order and per-microservice bindings in
+// flat slice form. The returned Template's Plan replays only the per-window
+// arithmetic. Compile is pure with respect to in: it holds references to the
+// graph and models but never mutates them.
+func Compile(in Input) (*Template, error) {
+	if err := in.validate(); err != nil {
+		// Workload presence is a per-window property, not a compile-time
+		// one: tolerate missing workloads at compile so a template can be
+		// built before the first window's loads exist.
+		if !isWorkloadErr(err) {
+			return nil, err
+		}
+	}
+	t := &Template{
+		Service:       in.Graph.Service,
+		slaThreshold:  in.SLA.Threshold,
+		slaPercentile: in.SLA.Percentile,
+		structHash:    structHashOf(in.Graph),
+	}
+	// Distinct microservices in sorted order; index lookup for leaf binding.
+	t.mss = in.Graph.Microservices()
+	idx := make(map[string]int32, len(t.mss))
+	for i, ms := range t.mss {
+		idx[ms] = int32(i)
+		t.models = append(t.models, in.Models[ms])
+		t.shares = append(t.shares, in.Shares[ms])
+		cap, ok := in.MaxPerContainer[ms]
+		t.caps = append(t.caps, cap)
+		t.capOK = append(t.capOK, ok)
+	}
+	t.root = t.reduce(in.Graph.Root, idx)
+	t.buildPre(t.root)
+
+	ph, err := t.paramHashOf(in)
+	if err != nil {
+		return nil, err
+	}
+	t.paramHash = ph
+
+	n := len(t.ops)
+	m := len(t.mss)
+	t.scratch = evalScratch{
+		A: make([]float64, n), B: make([]float64, n), R: make([]float64, n),
+		p: make([]float64, n), q: make([]float64, n), target: make([]float64, n),
+		gamma: make([]float64, m), aArr: make([]float64, m), bArr: make([]float64, m),
+		knee: make([]float64, m), useHigh: make([]bool, m),
+		tTarget: make([]float64, m), tRaw: make([]float64, m),
+	}
+	return t, nil
+}
+
+func isWorkloadErr(err error) bool {
+	var s string
+	if err != nil {
+		s = err.Error()
+	}
+	const pfx = "scaling: no workload for microservice "
+	return len(s) >= len(pfx) && s[:len(pfx)] == pfx
+}
+
+// reduce mirrors buildMergeTree: a leaf op for the node itself, a parallel
+// merge per stage, then a sequential merge of self with the stages.
+// Single-element merges collapse to the element, exactly as seqMerge and
+// parMerge return a lone child unchanged.
+func (t *Template) reduce(n *graph.Node, idx map[string]int32) int32 {
+	self := t.emit(planOp{kind: opLeaf, ms: idx[n.Microservice]})
+	if n.IsLeaf() {
+		return self
+	}
+	parts := []int32{self}
+	for _, st := range n.Stages {
+		stage := make([]int32, len(st))
+		for i, c := range st {
+			stage[i] = t.reduce(c, idx)
+		}
+		parts = append(parts, t.merge(opPar, stage))
+	}
+	return t.merge(opSeq, parts)
+}
+
+func (t *Template) emit(op planOp) int32 {
+	t.ops = append(t.ops, op)
+	return int32(len(t.ops) - 1)
+}
+
+func (t *Template) merge(kind opKind, kids []int32) int32 {
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	start := int32(len(t.kids))
+	t.kids = append(t.kids, kids...)
+	return t.emit(planOp{kind: kind, ms: -1, kidStart: start, kidEnd: int32(len(t.kids))})
+}
+
+// buildPre records the root-first visit order of the naive unwind recursion.
+func (t *Template) buildPre(oi int32) {
+	t.pre = append(t.pre, oi)
+	op := t.ops[oi]
+	for _, k := range t.kids[op.kidStart:op.kidEnd] {
+		t.buildPre(k)
+	}
+}
+
+// Plan evaluates the compiled template for one window: workloads γ and the
+// cluster utilizations are the only fresh inputs. The result is bit-identical
+// to Plan(Input) on the same data — same two-interval recomputation, same
+// clamps, same error formats, same sorted-order ResourceUsage sum.
+func (t *Template) Plan(workloads map[string]float64, cpuUtil, memUtil float64) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.scratch
+
+	// Per-window validation: the naive path checks workloads in sorted
+	// microservice order; replay that so the reported microservice matches.
+	for i, ms := range t.mss {
+		g, ok := workloads[ms]
+		if !ok || g <= 0 {
+			return nil, fmt.Errorf("scaling: no workload for microservice %s", ms)
+		}
+		s.gamma[i] = g
+		s.useHigh[i] = true
+		// Knee is interval-independent; cache it once per window.
+		s.knee[i] = t.models[i].Knee(cpuUtil, memUtil)
+	}
+
+	// Pass 1: all-high intervals (§5.3.1).
+	if err := t.eval(s, cpuUtil, memUtil); err != nil {
+		return nil, err
+	}
+	// Flip microservices whose allocated target falls below the latency at
+	// the cut-off point, then recompute once with the mixed selection.
+	flipped := false
+	for i := range t.mss {
+		aHi, bHi := t.models[i].Params(true, cpuUtil, memUtil)
+		if s.tTarget[i] < aHi*s.knee[i]+bHi {
+			s.useHigh[i] = false
+			flipped = true
+		}
+	}
+	if flipped {
+		if err := t.eval(s, cpuUtil, memUtil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Materialize the Allocation in the naive shape.
+	alloc := &Allocation{
+		Service:       t.Service,
+		Targets:       make(map[string]float64, len(t.mss)),
+		ContainersRaw: make(map[string]float64, len(t.mss)),
+		Containers:    make(map[string]int, len(t.mss)),
+		UsedHigh:      make(map[string]bool, len(t.mss)),
+	}
+	for i, ms := range t.mss {
+		alloc.Targets[ms] = s.tTarget[i]
+		raw := s.tRaw[i]
+		alloc.ContainersRaw[ms] = raw
+		n := int(math.Ceil(raw - 1e-9))
+		if n < 1 {
+			n = 1
+		}
+		alloc.Containers[ms] = n
+		alloc.UsedHigh[ms] = s.useHigh[i]
+		// mss is sorted, so this fold matches the naive sorted-order sum bit
+		// for bit.
+		alloc.ResourceUsage += raw * t.shares[i]
+	}
+	return alloc, nil
+}
+
+// eval runs one Latency Target Computation pass over the flat ops: an upward
+// post-order sweep computing the Eq. 7-12 merge coefficients, then a
+// downward pre-order sweep splitting targets by Eq. 5. Every float operation
+// — including summation order — replays the recursive implementation.
+func (t *Template) eval(s *evalScratch, cpuUtil, memUtil float64) error {
+	for i := range t.mss {
+		s.aArr[i], s.bArr[i] = t.models[i].Params(s.useHigh[i], cpuUtil, memUtil)
+		s.tTarget[i] = math.Inf(1)
+		s.tRaw[i] = math.Inf(-1)
+	}
+
+	// Upward sweep: kids precede parents in ops, so one forward pass
+	// reproduces the bottom-up merge of buildMergeTree.
+	for oi := range t.ops {
+		op := &t.ops[oi]
+		switch op.kind {
+		case opLeaf:
+			mi := op.ms
+			A := s.aArr[mi] * s.gamma[mi]
+			share := t.shares[mi]
+			s.A[oi], s.B[oi], s.R[oi] = A, s.bArr[mi], share
+			s.p[oi] = math.Sqrt(A * share)
+			s.q[oi] = math.Sqrt(A / share)
+		case opSeq:
+			var p, q, b float64
+			for _, k := range t.kids[op.kidStart:op.kidEnd] {
+				p += s.p[k]
+				q += s.q[k]
+				b += s.B[k]
+			}
+			s.A[oi], s.B[oi], s.R[oi] = p*q, b, p/q
+			s.p[oi], s.q[oi] = p, q
+		case opPar:
+			var A, b, ar float64
+			for _, k := range t.kids[op.kidStart:op.kidEnd] {
+				A += s.A[k]
+				if s.B[k] > b {
+					b = s.B[k]
+				}
+				ar += s.A[k] * s.R[k]
+			}
+			r := ar / A
+			s.A[oi], s.B[oi], s.R[oi] = A, b, r
+			s.p[oi] = math.Sqrt(A * r)
+			s.q[oi] = math.Sqrt(A / r)
+		}
+	}
+
+	// Downward sweep in the recorded pre-order: parents assign child targets
+	// before any descendant is visited, and the first infeasibility
+	// encountered matches the naive DFS error.
+	s.target[t.root] = t.slaThreshold
+	for _, oi := range t.pre {
+		op := &t.ops[oi]
+		target := s.target[oi]
+		switch op.kind {
+		case opLeaf:
+			mi := op.ms
+			slack := target - s.B[oi]
+			if slack <= 0 {
+				return fmt.Errorf("%w: microservice %s target %.3fms <= intercept %.3fms",
+					ErrInfeasible, t.mss[mi], target, s.B[oi])
+			}
+			n := s.A[oi] / slack
+			gamma := s.gamma[mi]
+			if knee := s.knee[mi]; knee > 0 {
+				limit := knee
+				if s.useHigh[mi] {
+					limit = knee * DomainCapRatio
+				}
+				if minN := gamma / limit; n < minN {
+					n = minN
+				}
+			}
+			if t.capOK[mi] && t.caps[mi] > 0 {
+				if minN := gamma / t.caps[mi]; n < minN {
+					n = minN
+				}
+			}
+			if target < s.tTarget[mi] {
+				s.tTarget[mi] = target
+			}
+			if n > s.tRaw[mi] {
+				s.tRaw[mi] = n
+			}
+		case opSeq:
+			slack := target - s.B[oi]
+			if slack <= 0 {
+				return fmt.Errorf("%w: service %s: target %.3fms <= path intercepts %.3fms",
+					ErrInfeasible, t.Service, target, s.B[oi])
+			}
+			// pSum recomputed the same way the naive unwind recomputes it:
+			// identical operand order makes it bit-equal to s.p[oi].
+			pSum := s.p[oi]
+			for _, k := range t.kids[op.kidStart:op.kidEnd] {
+				s.target[k] = s.B[k] + s.p[k]/pSum*slack
+			}
+		case opPar:
+			for _, k := range t.kids[op.kidStart:op.kidEnd] {
+				s.target[k] = target
+			}
+		}
+	}
+	return nil
+}
+
+// probePoints are the (cpuUtil, memUtil) points at which models are sampled
+// for the fingerprint. Three points pin the affine utilization response of
+// the analytic models; a swapped-in model that agrees at all probes on both
+// intervals and the knee is treated as unchanged (best-effort identity —
+// model values, not pointers, define the fingerprint).
+var probePoints = [3][2]float64{{0, 0}, {0.37, 0.61}, {0.73, 0.29}}
+
+// structHashOf fingerprints the graph shape: service name, node count, and a
+// DFS of microservice names and stage widths.
+func structHashOf(g *graph.Graph) uint64 {
+	h := newFNV()
+	if g == nil {
+		return h.sum()
+	}
+	h.str(g.Service)
+	h.u64(uint64(g.Len()))
+	var walk func(n *graph.Node)
+	walk = func(n *graph.Node) {
+		h.str(n.Microservice)
+		h.u64(uint64(len(n.Stages)))
+		for _, st := range n.Stages {
+			h.u64(uint64(len(st)))
+			for _, c := range st {
+				walk(c)
+			}
+		}
+	}
+	if g.Root != nil {
+		walk(g.Root)
+	}
+	return h.sum()
+}
+
+// paramsUnchanged is the revalidation fast path: true when every binding the
+// template captured at compile time is *identical* — same SLA, same share
+// and cap values, and the very same model values (interface equality; for
+// pointer-typed models that is pointer identity). When anything differs —
+// including a rebuilt-but-equivalent model map — the caller falls back to
+// the probe-based paramHashOf, so equality by value still avoids a
+// recompile. Models are treated as immutable once handed to the planner:
+// replace a map entry to change a model (mutating a model in place through a
+// retained pointer defeats both checks and is unsupported).
+func (t *Template) paramsUnchanged(in Input) (same bool) {
+	defer func() {
+		// A model with a non-comparable dynamic type panics on ==; treat it
+		// as changed and let the probe path decide.
+		if recover() != nil {
+			same = false
+		}
+	}()
+	if in.SLA.Threshold != t.slaThreshold || in.SLA.Percentile != t.slaPercentile {
+		return false
+	}
+	for i, ms := range t.mss {
+		if m, ok := in.Models[ms]; !ok || m != t.models[i] {
+			return false
+		}
+		if in.Shares[ms] != t.shares[i] {
+			return false
+		}
+		cap, capOK := in.MaxPerContainer[ms]
+		if capOK != t.capOK[i] || cap != t.caps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// paramHashOf fingerprints everything else the compiled coefficients depend
+// on: SLA, per-microservice shares and caps, and model probes. Utilizations
+// and workloads are per-window inputs, deliberately excluded.
+func (t *Template) paramHashOf(in Input) (uint64, error) {
+	h := newFNV()
+	h.f64(in.SLA.Threshold)
+	h.f64(in.SLA.Percentile)
+	for _, ms := range t.mss {
+		m, ok := in.Models[ms]
+		if !ok {
+			return 0, fmt.Errorf("scaling: no model for microservice %s", ms)
+		}
+		if in.Shares[ms] <= 0 {
+			return 0, fmt.Errorf("scaling: no resource share for microservice %s", ms)
+		}
+		// Microservice names are fixed by the structural hash; position in
+		// t.mss identifies them here.
+		h.f64(in.Shares[ms])
+		cap, capOK := in.MaxPerContainer[ms]
+		if capOK {
+			h.u64(1)
+			h.f64(cap)
+		} else {
+			h.u64(0)
+		}
+		for _, pt := range probePoints {
+			aLo, bLo := m.Params(false, pt[0], pt[1])
+			aHi, bHi := m.Params(true, pt[0], pt[1])
+			h.f64(aLo)
+			h.f64(bLo)
+			h.f64(aHi)
+			h.f64(bHi)
+			h.f64(m.Knee(pt[0], pt[1]))
+		}
+	}
+	return h.sum(), nil
+}
+
+// fnv is an inline word-at-a-time hash accumulator (splitmix64-style
+// finalizer per word). The fingerprint runs on every cached Plan, so it is
+// deliberately a couple of multiplies per 8 bytes, not a byte loop — the
+// revalidation cost must stay a small fraction of one template evaluation.
+type fnv struct{ h uint64 }
+
+func newFNV() *fnv { return &fnv{h: 1469598103934665603} }
+
+func (f *fnv) u64(v uint64) {
+	x := f.h ^ v
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	f.h = x
+}
+
+func (f *fnv) f64(v float64) { f.u64(math.Float64bits(v)) }
+
+func (f *fnv) str(s string) {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		f.u64(uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56)
+	}
+	var tail uint64
+	for sh := 0; i < len(s); i++ {
+		tail |= uint64(s[i]) << sh
+		sh += 8
+	}
+	// Length word doubles as the tail delimiter so "ab","c" != "a","bc".
+	f.u64(tail)
+	f.u64(uint64(len(s)))
+}
+
+func (f *fnv) sum() uint64 { return f.h }
+
+// TemplateCache memoizes Templates per service and revalidates them by
+// fingerprint on every Plan: a structural or parametric change recompiles
+// transparently, so callers never observe a stale plan. The cache is safe
+// for concurrent use; plans for distinct services never contend.
+type TemplateCache struct {
+	mu      sync.Mutex
+	entries map[string]*Template
+
+	hits          atomic.Uint64
+	compiles      atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// NewTemplateCache returns an empty cache.
+func NewTemplateCache() *TemplateCache {
+	return &TemplateCache{entries: make(map[string]*Template)}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts Plan calls served by an existing valid template.
+	Hits uint64
+	// Compiles counts template builds (first sight of a service, or rebuild
+	// after invalidation).
+	Compiles uint64
+	// Invalidations counts fingerprint mismatches that forced a rebuild.
+	Invalidations uint64
+}
+
+// Stats returns the cumulative counters.
+func (c *TemplateCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Compiles:      c.compiles.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// Len reports how many services currently have a compiled template.
+func (c *TemplateCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *TemplateCache) get(service string) *Template {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[service]
+}
+
+func (c *TemplateCache) put(t *Template) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[t.Service] = t
+}
+
+// Plan is the cached equivalent of the package-level Plan: it returns
+// bit-identical allocations and errors, compiling or recompiling the
+// service's template as needed. A nil cache degrades to the naive path.
+func (c *TemplateCache) Plan(in Input) (*Allocation, error) {
+	if c == nil {
+		return Plan(in)
+	}
+	if in.Graph == nil {
+		return nil, errors.New("scaling: nil graph")
+	}
+	if t := c.get(in.Graph.Service); t != nil {
+		if structHashOf(in.Graph) == t.structHash {
+			if t.paramsUnchanged(in) {
+				c.hits.Add(1)
+				return t.Plan(in.Workloads, in.CPUUtil, in.MemUtil)
+			}
+			// Bindings are not identical; value-equal replacements (e.g. a
+			// rebuilt model map with the same coefficients) still hit via
+			// the probe hash.
+			ph, err := t.paramHashOf(in)
+			if err == nil && ph == t.paramHash {
+				c.hits.Add(1)
+				return t.Plan(in.Workloads, in.CPUUtil, in.MemUtil)
+			}
+		}
+		c.invalidations.Add(1)
+	}
+	t, err := Compile(in)
+	if err != nil {
+		return nil, err
+	}
+	c.compiles.Add(1)
+	c.put(t)
+	return t.Plan(in.Workloads, in.CPUUtil, in.MemUtil)
+}

@@ -16,10 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"erms/internal/graph"
 	"erms/internal/profiling"
+	"erms/internal/sortutil"
 	"erms/internal/workload"
 )
 
@@ -333,12 +333,7 @@ func compute(in Input, useHigh map[string]bool) (*Allocation, error) {
 
 	// Sum usage in sorted order so the float total is bit-stable run to run
 	// (map iteration order would perturb the low bits).
-	mss := make([]string, 0, len(alloc.ContainersRaw))
-	for ms := range alloc.ContainersRaw {
-		mss = append(mss, ms)
-	}
-	sort.Strings(mss)
-	for _, ms := range mss {
+	for _, ms := range sortutil.Keys(alloc.ContainersRaw) {
 		raw := alloc.ContainersRaw[ms]
 		n := int(math.Ceil(raw - 1e-9))
 		if n < 1 {
@@ -432,10 +427,5 @@ func EndToEndModelLatency(in Input, containers map[string]int) (float64, error) 
 
 // SortedTargets renders targets in a deterministic order for reports.
 func SortedTargets(a *Allocation) []string {
-	out := make([]string, 0, len(a.Targets))
-	for ms := range a.Targets {
-		out = append(out, ms)
-	}
-	sort.Strings(out)
-	return out
+	return sortutil.Keys(a.Targets)
 }

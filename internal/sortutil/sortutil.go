@@ -1,0 +1,18 @@
+// Package sortutil holds the one deterministic-iteration helper every
+// planning package needs: map keys in sorted order. Float accumulations and
+// tie-breaks throughout the planners iterate maps through Keys so results
+// are bit-stable run to run (Go map iteration order is randomized and would
+// perturb the low bits of any sum folded in map order).
+package sortutil
+
+import "sort"
+
+// Keys returns m's keys in ascending order.
+func Keys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,19 @@
+package sortutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	if got := Keys(map[string]int{"b": 1, "a": 2, "c": 3}); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	if got := Keys(map[string]struct{}{}); len(got) != 0 {
+		t.Fatalf("Keys(empty) = %v", got)
+	}
+	var nilMap map[string]float64
+	if got := Keys(nilMap); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v", got)
+	}
+}

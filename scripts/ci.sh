@@ -38,3 +38,17 @@ go test -run 'TestFaultTablesIdenticalAcrossWorkers|TestGenerateDeterministic' \
 # headline ordering (unbounded retries worst, budgeted ≈ no retries).
 echo "== resilience determinism (fig23, workers=1 vs 4) =="
 go test -run 'TestFig23' -count=1 ./internal/experiments
+
+# The planner-scalability gate (PR 5): the compiled-template path must stay
+# bit-identical to the naive planner, and both figScale's deterministic table
+# and parallel PlanScheme must be byte-identical at one worker and four.
+echo "== planner determinism (figScale + PlanScheme, workers=1 vs 4) =="
+go test -count=1 \
+	-run 'TestFigScaleDeterministicAcrossWorkers|TestPlanSchemeByteIdenticalAcrossWorkers|TestPlanSchemeCachedBitIdentical' \
+	./internal/experiments ./internal/multiplex
+
+# One-iteration smoke of the planner benchmarks: catches bit-rot in the
+# bench harness and the BENCH_5.json fold without paying full benchtime.
+echo "== bench smoke (1 iteration) =="
+BENCH_SMOKE=1 BENCH_OUT=/tmp/bench_5_smoke.txt BENCH_JSON=/tmp/BENCH_5_smoke.json \
+	scripts/bench.sh >/dev/null
