@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"erms"
 	"erms/internal/chaos"
@@ -48,6 +49,10 @@ func main() {
 		saveApp  = flag.String("save-app", "", "write the application topology as JSON to this file and exit")
 		loadApp  = flag.String("load-app", "", "load the application from a JSON file (overrides -app)")
 		workers  = flag.Int("parallel", 0, "worker-pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
+
+		shards    = flag.Int("shards", 0, "incremental planner shard count (0 = one shard per worker); any value plans identically")
+		planWin   = flag.Int("plan-windows", 0, "drive N planning windows, perturbing a fraction of services each window, and report per-window latency and skip/replan counters")
+		dirtyFrac = flag.Float64("dirty-frac", 0.1, "with -plan-windows: fraction of services whose rates change every window")
 
 	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (view with `go tool pprof`)")
 	memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -193,7 +198,8 @@ func main() {
 			Shed:               *resShed,
 		}
 	}
-	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch), erms.WithResilience(res))
+	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch),
+		erms.WithResilience(res), erms.WithPlanShards(*shards))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -230,6 +236,11 @@ func main() {
 
 	if *doChaos {
 		runChaosLoop(sys, app, rates, *chaosWin, *duration, *seed, *chaosNaive)
+		return
+	}
+
+	if *planWin > 0 {
+		runPlanWindows(sys, app, rates, *planWin, *dirtyFrac)
 		return
 	}
 
@@ -321,6 +332,61 @@ func holdForScrape(addr string) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+}
+
+// runPlanWindows drives the controller's incremental planner window by
+// window: every window the first ⌈dirty-frac · services⌉ services get a
+// fresh rate multiplier, and the loop reports how long the replan took and
+// how many services were skipped versus replanned (the dirty closure is the
+// perturbed services' sharing groups).
+func runPlanWindows(sys *erms.System, app *erms.App, rates map[string]float64,
+	windows int, frac float64) {
+	ctrl := sys.Controller()
+	if ctrl.Planner == nil {
+		log.Fatal("-plan-windows needs the incremental planner (it is on by default; remove any option disabling it)")
+	}
+	svcs := app.Services()
+	sort.Strings(svcs)
+	n := int(frac*float64(len(svcs)) + 0.999999)
+	if n > len(svcs) {
+		n = len(svcs)
+	}
+	victims := svcs[:n]
+	base := make(map[string]float64, len(rates))
+	for svc, r := range rates {
+		base[svc] = r
+	}
+
+	// Cold window compiles the templates and seeds the fingerprints; it is
+	// reported separately because steady state is the interesting number.
+	start := time.Now()
+	if _, err := sys.Plan(rates); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan loop: %s, %d services, %d dirty per window (%.0f%%), shards=%d\n\n",
+		app.Name, len(svcs), n, 100*frac, ctrl.Planner.Stats().Shards)
+	fmt.Printf("%-6s %12s %9s %10s %12s\n", "window", "latency", "skipped", "replanned", "containers")
+	fmt.Printf("%-6s %12s %9s %10s\n", "cold", time.Since(start).Round(time.Microsecond), "-", "-")
+	prev := ctrl.Planner.Stats()
+	for w := 0; w < windows; w++ {
+		mult := 1 + 0.01*float64(w+1)
+		for _, svc := range victims {
+			rates[svc] = base[svc] * mult
+		}
+		start = time.Now()
+		plan, err := sys.Plan(rates)
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := ctrl.Planner.Stats()
+		fmt.Printf("%-6d %12s %9d %10d %12d\n", w,
+			elapsed.Round(time.Microsecond),
+			st.SkippedServices-prev.SkippedServices,
+			st.DirtyServices-prev.DirtyServices,
+			plan.TotalContainers())
+		prev = st
+	}
 }
 
 // runChaosLoop generates the standard fault schedule for the cluster, binds

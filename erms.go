@@ -101,12 +101,14 @@ type System struct {
 type Option func(*config)
 
 type config struct {
-	hosts      int
-	hostSpec   cluster.HostSpec
-	scheme     Scheme
-	delta      float64
-	popGroups  int
-	resilience *Resilience
+	hosts         int
+	hostSpec      cluster.HostSpec
+	scheme        Scheme
+	delta         float64
+	popGroups     int
+	resilience    *Resilience
+	planShards    int
+	noIncremental bool
 }
 
 // WithHosts sets the cluster size (default 20, the paper's testbed).
@@ -130,6 +132,16 @@ func WithPOPGroups(g int) Option { return func(c *config) { c.popGroups = g } }
 // simulation (nil, the default, keeps the infallible data plane).
 func WithResilience(r *Resilience) Option { return func(c *config) { c.resilience = r } }
 
+// WithPlanShards sets the incremental planner's shard count (a parallelism
+// hint — plans are byte-identical at any value; <= 0, the default, sizes
+// shards to the worker pool).
+func WithPlanShards(n int) Option { return func(c *config) { c.planShards = n } }
+
+// WithoutIncrementalPlanning disables change-driven incremental planning,
+// replanning every service every window. Plans are bit-identical either
+// way; this exists for benchmarking and as an escape hatch.
+func WithoutIncrementalPlanning() Option { return func(c *config) { c.noIncremental = true } }
+
 // NewSystem creates an Erms system managing the application on a fresh
 // simulated cluster with interference-aware provisioning.
 func NewSystem(app *App, opts ...Option) (*System, error) {
@@ -145,12 +157,17 @@ func NewSystem(app *App, opts ...Option) (*System, error) {
 	}
 	cl := cluster.New(cfg.hosts, cfg.hostSpec)
 	orch := kube.New(cl, nil)
-	ctrl, err := core.New(app, orch,
+	coreOpts := []core.Option{
 		core.WithScheme(cfg.scheme),
 		core.WithDelta(cfg.delta),
 		core.WithScheduler(&provision.InterferenceAware{Groups: cfg.popGroups}),
 		core.WithResilience(cfg.resilience),
-	)
+		core.WithPlanShards(cfg.planShards),
+	}
+	if cfg.noIncremental {
+		coreOpts = append(coreOpts, core.WithoutIncrementalPlanning())
+	}
+	ctrl, err := core.New(app, orch, coreOpts...)
 	if err != nil {
 		return nil, err
 	}

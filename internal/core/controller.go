@@ -65,9 +65,30 @@ func WithResilience(r *sim.Resilience) Option {
 // WithoutPlanTemplates disables the compiled-plan-template cache, forcing
 // every window through the naive scaling path. Output is bit-identical
 // either way; this exists for benchmarking the naive path and as an escape
-// hatch.
+// hatch. It implies WithoutIncrementalPlanning (the incremental planner is
+// built on the template cache).
 func WithoutPlanTemplates() Option {
-	return func(c *Controller) { c.PlanCache = nil }
+	return func(c *Controller) {
+		c.PlanCache = nil
+		c.noIncremental = true
+	}
+}
+
+// WithoutIncrementalPlanning disables the change-driven incremental
+// planner, replanning every service every window through the (still
+// template-cached, unless WithoutPlanTemplates) monolithic path. Output is
+// bit-identical either way; this exists for benchmarking and as an escape
+// hatch.
+func WithoutIncrementalPlanning() Option {
+	return func(c *Controller) { c.noIncremental = true }
+}
+
+// WithPlanShards sets the incremental planner's shard count. Sharing
+// groups are pinned to one shard, so the count is a parallelism hint —
+// output is byte-identical at any value. <= 0 (the default) sizes shards
+// to the parallel worker pool.
+func WithPlanShards(n int) Option {
+	return func(c *Controller) { c.planShards = n }
 }
 
 // Controller is the Erms resource manager for one application on one
@@ -108,8 +129,16 @@ type Controller struct {
 	// Nil (WithoutPlanTemplates) plans naively. Either way the produced
 	// plans are bit-identical.
 	PlanCache *scaling.TemplateCache
+	// Planner is the change-driven incremental planner (on by default,
+	// sharing PlanCache): windows replan only the sharing groups whose
+	// inputs changed and fan dirty groups out across shards, producing
+	// byte-identical plans to the monolithic path. Nil
+	// (WithoutIncrementalPlanning) replans everything every window.
+	Planner *multiplex.IncrementalPlanner
 
-	scheduler kube.Scheduler
+	noIncremental bool
+	planShards    int
+	scheduler     kube.Scheduler
 	// sharesCache memoizes the per-microservice dominant shares, which only
 	// depend on container specs and total cluster capacity; it refreshes
 	// whenever capacity changes (e.g. chaos host loss).
@@ -140,6 +169,9 @@ func New(app *apps.App, orch *kube.Orchestrator, opts ...Option) (*Controller, e
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if !c.noIncremental && c.PlanCache != nil {
+		c.Planner = multiplex.NewIncrementalPlanner(c.PlanCache, c.planShards)
 	}
 	if c.scheduler != nil {
 		orch.SetScheduler(c.scheduler)
@@ -205,7 +237,13 @@ func (c *Controller) Plan(rates map[string]float64) (*multiplex.Plan, error) {
 			MemUtil: mem,
 		}
 	}
-	plan, err := multiplex.PlanSchemeCached(c.Scheme, inputs, c.Loads(rates), c.App.Shared(), c.PlanCache)
+	var plan *multiplex.Plan
+	var err error
+	if c.Planner != nil {
+		plan, err = c.Planner.PlanScheme(c.Scheme, inputs, c.Loads(rates), c.App.Shared())
+	} else {
+		plan, err = multiplex.PlanSchemeCached(c.Scheme, inputs, c.Loads(rates), c.App.Shared(), c.PlanCache)
+	}
 	if err == nil {
 		c.Obs.Inc(obs.CtrPlans)
 		if c.Obs != nil && c.PlanCache != nil {
@@ -213,6 +251,12 @@ func (c *Controller) Plan(rates map[string]float64) (*multiplex.Plan, error) {
 			c.Obs.Set(obs.CtrPlanTemplateHits, float64(st.Hits))
 			c.Obs.Set(obs.CtrPlanTemplateCompiles, float64(st.Compiles))
 			c.Obs.Set(obs.CtrPlanTemplateInvalidations, float64(st.Invalidations))
+		}
+		if c.Obs != nil && c.Planner != nil {
+			st := c.Planner.Stats()
+			c.Obs.Set(obs.CtrPlanSkipped, float64(st.SkippedServices))
+			c.Obs.Set(obs.CtrPlanDirty, float64(st.DirtyServices))
+			c.Obs.Set(obs.CtrPlanShards, float64(st.ShardRuns))
 		}
 	}
 	return plan, err

@@ -94,3 +94,22 @@ func TestFigScaleDeterministicAcrossWorkers(t *testing.T) {
 		t.Errorf("figScale: compiled plans not bit-identical to naive:\n%s", w1)
 	}
 }
+
+// TestFigShardDeterministicAcrossWorkers pins the figShard contract: the
+// deterministic table (topology shape, skip/dirty counters, incremental
+// shards=1 and shards=4 bit-identity against the monolithic planner) is
+// byte-identical whether the shard fan-out runs on one worker or four, and
+// every bit-identity column reads true.
+func TestFigShardDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	w1 := renderDeterministic(t, "figShard")
+	parallel.SetWorkers(4)
+	w4 := renderDeterministic(t, "figShard")
+	if w1 != w4 {
+		t.Errorf("figShard differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", w1, w4)
+	}
+	if !strings.Contains(w1, "true") || strings.Contains(w1, "false") {
+		t.Errorf("figShard: incremental plans not bit-identical to monolithic:\n%s", w1)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"erms/internal/apps"
+	"erms/internal/multiplex"
+	"erms/internal/scaling"
+)
+
+func init() {
+	register("figShard", PlannerShard)
+}
+
+// PlannerShard measures change-driven incremental planning against the
+// monolithic compiled-template planner on the Alibaba-scale topology
+// (1000 services × 50 microservices × sharing degree 10; ROADMAP item 1):
+// per window, only the sharing groups whose workloads changed replan, and
+// the dirty groups fan out across shards.
+//
+// The dirty fraction sweeps 0% (pure skip), 10% (the headline BENCH_6
+// setting) and 50%: before each window the first ⌈frac·services⌉ services
+// get a fresh workload multiplier, which — because sharing groups on this
+// topology are aligned blocks of SharingDegree consecutive services — makes
+// the dirty closure exactly that prefix.
+//
+// Two tables are emitted. figShard carries only deterministic columns
+// (topology shape, skip/dirty counters, bit-identity of the incremental
+// planner at shards=1 and shards=4 against the monolithic path) and is
+// pinned byte-identical across worker counts by the determinism tests; the
+// timing table is wall-clock and excluded from those comparisons.
+func PlannerShard(quick bool) []*Table {
+	services, msPer, degree, windows := 1000, 50, 10, 5
+	if quick {
+		services, msPer, degree, windows = 100, 20, 5, 3
+	}
+	fracs := []float64{0, 0.1, 0.5}
+
+	det := &Table{
+		ID:    "figShard",
+		Title: "Incremental sharded planning vs monolithic compiled planner (change-driven skip, ROADMAP item 1)",
+		Header: []string{"services", "ms/graph", "sharing degree", "dirty frac",
+			"windows", "skipped", "replanned", "shards1 == mono", "shards4 == mono"},
+	}
+	timing := &Table{
+		ID:     "figShard-time",
+		Title:  "Incremental sharded planning: per-window latency vs monolithic compiled (wall-clock)",
+		Header: []string{"services", "dirty frac", "monolithic/window", "incremental/window", "speedup"},
+	}
+
+	cfg := apps.ScaleConfig{
+		Seed:                    42,
+		Services:                services,
+		MicroservicesPerService: msPer,
+		SharingDegree:           degree,
+	}
+	inputs, loads, shared := scalePlanContext(cfg)
+	base := make(map[string]map[string]float64, len(loads))
+	for svc, byMS := range loads {
+		m := make(map[string]float64, len(byMS))
+		for ms, g := range byMS {
+			m[ms] = g
+		}
+		base[svc] = m
+	}
+	dirtySvcs := func(frac float64) []string {
+		n := int(frac*float64(services) + 0.999999)
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, fmt.Sprintf("scale-svc-%05d", i))
+		}
+		return out
+	}
+
+	for _, frac := range fracs {
+		victims := dirtySvcs(frac)
+		mutate := func(window int) {
+			mult := 1 + 0.01*float64(window+1)
+			for _, svc := range victims {
+				for ms, g := range base[svc] {
+					loads[svc][ms] = g * mult
+				}
+			}
+		}
+
+		cache := scaling.NewTemplateCache()
+		p1 := multiplex.NewIncrementalPlanner(nil, 1)
+		p4 := multiplex.NewIncrementalPlanner(nil, 4)
+
+		// Cold window warms all three paths; the measured windows that
+		// follow are steady state.
+		mutate(-1)
+		mono, err := multiplex.PlanSchemeCached(multiplex.SchemePriority, inputs, loads, shared, cache)
+		if err != nil {
+			panic(err)
+		}
+		g1, err := p1.PlanScheme(multiplex.SchemePriority, inputs, loads, shared)
+		if err != nil {
+			panic(err)
+		}
+		g4, err := p4.PlanScheme(multiplex.SchemePriority, inputs, loads, shared)
+		if err != nil {
+			panic(err)
+		}
+		identical1 := plansBitIdentical(mono, g1)
+		identical4 := plansBitIdentical(mono, g4)
+		cold := p4.Stats()
+
+		var monoNs, incrNs time.Duration
+		for w := 0; w < windows; w++ {
+			mutate(w)
+			start := time.Now()
+			mono, err = multiplex.PlanSchemeCached(multiplex.SchemePriority, inputs, loads, shared, cache)
+			monoNs += time.Since(start)
+			if err != nil {
+				panic(err)
+			}
+			g1, err = p1.PlanScheme(multiplex.SchemePriority, inputs, loads, shared)
+			if err != nil {
+				panic(err)
+			}
+			start = time.Now()
+			g4, err = p4.PlanScheme(multiplex.SchemePriority, inputs, loads, shared)
+			incrNs += time.Since(start)
+			if err != nil {
+				panic(err)
+			}
+			identical1 = identical1 && plansBitIdentical(mono, g1)
+			identical4 = identical4 && plansBitIdentical(mono, g4)
+		}
+		warm := p4.Stats()
+
+		det.AddRow(
+			fmt.Sprintf("%d", services),
+			fmt.Sprintf("%d", msPer),
+			fmt.Sprintf("%d", degree),
+			fmt.Sprintf("%.0f%%", 100*frac),
+			fmt.Sprintf("%d", windows),
+			fmt.Sprintf("%d", warm.SkippedServices-cold.SkippedServices),
+			fmt.Sprintf("%d", warm.DirtyServices-cold.DirtyServices),
+			fmt.Sprintf("%v", identical1),
+			fmt.Sprintf("%v", identical4),
+		)
+		timing.AddRow(
+			fmt.Sprintf("%d", services),
+			fmt.Sprintf("%.0f%%", 100*frac),
+			fmt.Sprint(monoNs/time.Duration(windows)),
+			fmt.Sprint(incrNs/time.Duration(windows)),
+			fmt.Sprintf("%.1fx", float64(monoNs)/float64(incrNs)),
+		)
+
+		// Restore the base loads so the next fraction starts clean.
+		for svc, byMS := range base {
+			for ms, g := range byMS {
+				loads[svc][ms] = g
+			}
+		}
+	}
+	det.AddNote("skipped/replanned count services over the post-warmup windows; the dirty closure of a workload change is the service's whole sharing group")
+	det.AddNote("shardsN == mono is a bit-level comparison of every target, raw count and usage, every window")
+	timing.AddNote("BENCH_6.json gates the 10%% row at >=5x on the full 1000x50x10 topology")
+	return []*Table{det, timing}
+}

@@ -1,0 +1,91 @@
+package multiplex
+
+import (
+	"fmt"
+	"testing"
+
+	"erms/internal/apps"
+	"erms/internal/scaling"
+)
+
+// BenchmarkIncrementalVsCompiled is the BENCH_6 pair: per-window planning
+// on the full Alibaba-scale topology (1000 services × 50 microservices ×
+// sharing degree 10) with 10% of services changing workload every window.
+// "compiled" is the PR-5 monolithic planner over a warmed template cache —
+// it replans all 1000 services each window; "incremental" skips the 900
+// unchanged services (the dirty closure of the mutated 10% is exactly the
+// mutated services, since sharing groups here are aligned blocks) and
+// fans the dirty sharing groups out across shards. bench.sh folds the two
+// into BENCH_6.json and gates compiled/incremental >= 5x.
+func BenchmarkIncrementalVsCompiled(b *testing.B) {
+	const services, dirtyFrac = 1000, 0.10
+	inputs, loads, shared := scaleInputs(b, apps.ScaleConfig{
+		Seed: 42, Services: services, MicroservicesPerService: 50, SharingDegree: 10,
+	})
+	nDirty := int(dirtyFrac * services)
+	victims := make([]string, nDirty)
+	base := make([]map[string]float64, nDirty)
+	for i := 0; i < nDirty; i++ {
+		victims[i] = fmt.Sprintf("scale-svc-%05d", i)
+		byMS := loads[victims[i]]
+		cp := make(map[string]float64, len(byMS))
+		for ms, g := range byMS {
+			cp[ms] = g
+		}
+		base[i] = cp
+	}
+	// mutate gives the dirty 10% a fresh workload multiplier derived from
+	// the iteration counter, so every window's fingerprints really change.
+	mutate := func(iter int) {
+		mult := 1 + 0.01*float64(iter%7+1)
+		for i, svc := range victims {
+			for ms, g := range base[i] {
+				loads[svc][ms] = g * mult
+			}
+		}
+	}
+
+	b.Run("compiled", func(b *testing.B) {
+		cache := scaling.NewTemplateCache()
+		if _, err := PlanSchemeCached(SchemePriority, inputs, loads, shared, cache); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mutate(i)
+			b.StartTimer()
+			if _, err := PlanSchemeCached(SchemePriority, inputs, loads, shared, cache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		p := NewIncrementalPlanner(nil, 0)
+		if _, err := p.PlanScheme(SchemePriority, inputs, loads, shared); err != nil {
+			b.Fatal(err)
+		}
+		cold := p.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mutate(i)
+			b.StartTimer()
+			if _, err := p.PlanScheme(SchemePriority, inputs, loads, shared); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// Sanity: post-warmup windows must skip the unchanged 90%, or the
+		// benchmark silently degrades into the compiled one.
+		warm := p.Stats()
+		skipped := warm.SkippedServices - cold.SkippedServices
+		dirty := warm.DirtyServices - cold.DirtyServices
+		if skipped <= dirty {
+			b.Fatalf("incremental planner did not skip: %d skipped vs %d dirty over %d windows",
+				skipped, dirty, warm.Windows-cold.Windows)
+		}
+	})
+}

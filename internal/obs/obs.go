@@ -68,6 +68,12 @@ const (
 	CtrPlanTemplateCompiles      = "erms.self.plan_template_compiles_total"
 	CtrPlanTemplateInvalidations = "erms.self.plan_template_invalidations_total"
 
+	// Incremental sharded planning (cumulative planner effectiveness; the
+	// planner reports running totals, so these are Set rather than Add).
+	CtrPlanSkipped = "erms.self.plan_skipped_total"
+	CtrPlanDirty   = "erms.self.plan_dirty_total"
+	CtrPlanShards  = "erms.self.plan_shards_total"
+
 	// Simulation engine (accumulated across evaluation windows).
 	CtrSimEvents       = "erms.self.sim_events_total"
 	CtrSimJobsAlloc    = "erms.self.sim_jobs_allocated_total"

@@ -369,6 +369,62 @@ func (t *Template) eval(s *evalScratch, cpuUtil, memUtil float64) error {
 	return nil
 }
 
+// Microservices returns the template's distinct microservices in sorted
+// order. The returned slice is owned by the template; callers must not
+// mutate it. It is exactly the key set of every map a Plan call returns,
+// which lets incremental callers fold allocations in sorted order without
+// re-sorting every window.
+func (t *Template) Microservices() []string { return t.mss }
+
+// ParamsMatch reports whether the bindings the template captured at compile
+// time — SLA, per-microservice models, shares, and caps — still match in.
+// It is the revalidation half of the TemplateCache hit test, exported so an
+// incremental planning layer can detect "this service's plan inputs are
+// unchanged" without paying for a Plan call. The identity fast path is
+// tried first; value-equal replacements (e.g. a rebuilt model map with the
+// same coefficients) still match via the probe hash.
+func (t *Template) ParamsMatch(in Input) bool {
+	if t.paramsUnchanged(in) {
+		return true
+	}
+	ph, err := t.paramHashOf(in)
+	return err == nil && ph == t.paramHash
+}
+
+// StructMatches reports whether g still has the graph shape the template
+// was compiled from.
+func (t *Template) StructMatches(g *graph.Graph) bool {
+	return structHashOf(g) == t.structHash
+}
+
+// Matches reports whether the template is still valid for in: same graph
+// shape and matching parameter bindings. Workloads and utilizations are
+// per-window inputs and deliberately not part of template validity.
+func (t *Template) Matches(in Input) bool {
+	return t.StructMatches(in.Graph) && t.ParamsMatch(in)
+}
+
+// WindowFingerprint hashes the per-window inputs of a Plan call — every
+// microservice's workload in the template's sorted order plus the cluster
+// utilizations. Two windows with equal fingerprints produce bit-identical
+// allocations from an unchanged template, which is what lets an incremental
+// planner skip the replan entirely. ok is false when any workload is
+// missing or non-positive (such a window cannot be skipped: it must replan
+// so the naive error surfaces).
+func (t *Template) WindowFingerprint(workloads map[string]float64, cpuUtil, memUtil float64) (fp uint64, ok bool) {
+	h := newFNV()
+	h.f64(cpuUtil)
+	h.f64(memUtil)
+	for _, ms := range t.mss {
+		g, present := workloads[ms]
+		if !present || g <= 0 {
+			return 0, false
+		}
+		h.f64(g)
+	}
+	return h.sum(), true
+}
+
 // probePoints are the (cpuUtil, memUtil) points at which models are sampled
 // for the fingerprint. Three points pin the affine utilization response of
 // the analytic models; a swapped-in model that agrees at all probes on both
@@ -567,6 +623,17 @@ func (c *TemplateCache) get(service string) *Template {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.entries[service]
+}
+
+// Template returns the compiled template currently cached for a service,
+// or nil when the service has never been compiled (or the cache is nil).
+// The caller is expected to revalidate it with Matches/ParamsMatch before
+// trusting it against fresh inputs.
+func (c *TemplateCache) Template(service string) *Template {
+	if c == nil {
+		return nil
+	}
+	return c.get(service)
 }
 
 func (c *TemplateCache) put(t *Template) {

@@ -1,0 +1,87 @@
+package scaling
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTemplateCacheConcurrent hammers one TemplateCache from many
+// goroutines the way the sharded planner does: concurrent Plan calls for
+// overlapping services, mixed with Template/Stats/Len reads, including two
+// parameter variants of the same service racing to recompile each other's
+// template. Run under -race in ci.sh; results must stay bit-identical to
+// the naive planner throughout.
+func TestTemplateCacheConcurrent(t *testing.T) {
+	const services = 8
+	type variant struct {
+		in   Input
+		want *Allocation
+	}
+	vars := make([][2]variant, services)
+	for i := 0; i < services; i++ {
+		a := randomInput(uint64(i)*2 + 1)
+		a.Graph.Service = fmt.Sprintf("svc-%02d", i)
+		// Variant B shares the graph but relaxes the SLA — same structure
+		// hash, different parameter hash, so A and B plans continuously
+		// invalidate and recompile each other's cached template.
+		b := a
+		sla := a.SLA
+		sla.Threshold *= 1.25
+		b.SLA = sla
+		for v, in := range [2]Input{a, b} {
+			want, err := Plan(in)
+			if err != nil {
+				t.Fatalf("svc %d variant %d: naive: %v", i, v, err)
+			}
+			vars[i][v] = variant{in: in, want: want}
+		}
+	}
+
+	cache := NewTemplateCache()
+	const workers, iters = 16, 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				v := vars[(w+it)%services][(w+it/3)%2]
+				got, err := cache.Plan(v.in)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: %v", w, it, err)
+					return
+				}
+				for ms, want := range v.want.Targets {
+					if got.Targets[ms] != want {
+						errs <- fmt.Errorf("worker %d iter %d: target[%s] = %v, want %v",
+							w, it, ms, got.Targets[ms], want)
+						return
+					}
+				}
+				if got.ResourceUsage != v.want.ResourceUsage {
+					errs <- fmt.Errorf("worker %d iter %d: usage %v, want %v",
+						w, it, got.ResourceUsage, v.want.ResourceUsage)
+					return
+				}
+				// Reads the planner interleaves with planning.
+				if tpl := cache.Template(v.in.Graph.Service); tpl != nil {
+					_ = tpl.Microservices()
+					_ = tpl.Matches(v.in)
+					_, _ = tpl.WindowFingerprint(v.in.Workloads, v.in.CPUUtil, v.in.MemUtil)
+				}
+				_ = cache.Stats()
+				_ = cache.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := cache.Len(); n != services {
+		t.Fatalf("cache holds %d templates, want %d", n, services)
+	}
+}

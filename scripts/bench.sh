@@ -1,61 +1,119 @@
 #!/usr/bin/env sh
-# Planner-scalability benchmarks for the compiled plan templates (PR 5).
+# Planner-scalability benchmarks.
 #
-# Runs the per-window scaling benchmark (naive scaling.Plan vs a warmed
-# scaling.TemplateCache) and the full multi-service PlanScheme benchmark on
-# Alibaba-scale topologies, writes the raw `go test -bench` output to
-# bench_5.txt (benchstat-friendly: pass -count=10 and feed two files to
-# `benchstat old.txt new.txt`), and records the headline compiled-vs-naive
-# speedup in BENCH_5.json.
+# Each target runs a benchmark pair, writes the raw `go test -bench` output
+# (benchstat-friendly: pass BENCH_COUNT=10 and feed two files to
+# `benchstat old.txt new.txt`), and folds the headline speedup into a JSON
+# record with its own pass/fail gate:
+#
+#   bench5  compiled plan templates (PR 5): naive scaling.Plan vs a warmed
+#           TemplateCache per window      -> bench_5.txt, BENCH_5.json
+#   bench6  incremental sharded planning (PR 6): monolithic PlanSchemeCached
+#           vs IncrementalPlanner at 10% dirty services per window on the
+#           1000x50x10 topology           -> bench_6.txt, BENCH_6.json
+#   all     both targets in sequence
 #
 # Usage:
-#   scripts/bench.sh            # full run (benchtime/count below)
-#   BENCH_COUNT=10 scripts/bench.sh
-#   BENCH_SMOKE=1 scripts/bench.sh   # 1 iteration per benchmark (CI smoke)
+#   scripts/bench.sh [bench5|bench6|all]   # default: all
+#   BENCH_COUNT=10 scripts/bench.sh bench6
+#   BENCH_SMOKE=1 scripts/bench.sh bench5  # 1 iteration per benchmark (CI)
+#   BENCH_OUT=... BENCH_JSON=... scripts/bench.sh bench6   # override paths
 set -eu
 
 cd "$(dirname "$0")/.."
 
+TARGET="${1:-all}"
 COUNT="${BENCH_COUNT:-1}"
 BENCHTIME="${BENCH_BENCHTIME:-2s}"
 if [ "${BENCH_SMOKE:-0}" = "1" ]; then
 	BENCHTIME=1x
 fi
-OUT="${BENCH_OUT:-bench_5.txt}"
-JSON="${BENCH_JSON:-BENCH_5.json}"
 
-echo "== planner benchmarks (benchtime=$BENCHTIME count=$COUNT) =="
-go test -run '^$' -bench 'BenchmarkCompiledVsNaive' \
-	-benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
-	./internal/scaling | tee "$OUT"
-go test -run '^$' -bench 'BenchmarkPlanScale' \
-	-benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
-	./internal/multiplex | tee -a "$OUT"
+bench5() {
+	OUT="${BENCH_OUT:-bench_5.txt}"
+	JSON="${BENCH_JSON:-BENCH_5.json}"
+	echo "== bench5: compiled plan templates (benchtime=$BENCHTIME count=$COUNT) =="
+	go test -run '^$' -bench 'BenchmarkCompiledVsNaive' \
+		-benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
+		./internal/scaling | tee "$OUT"
+	go test -run '^$' -bench 'BenchmarkPlanScale' \
+		-benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
+		./internal/multiplex | tee -a "$OUT"
 
-# Fold the raw output into BENCH_5.json: mean ns/op per benchmark name and
-# the headline per-window speedup (naive / compiled) on the 100x50x10
-# topology. The acceptance gate for PR 5 is speedup >= 5.
-awk -v json="$JSON" '
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	ns[name] += $3
-	cnt[name]++
+	# Fold into BENCH_5.json: mean ns/op per benchmark name and the headline
+	# per-window speedup (naive / compiled) on the 100x50x10 topology. The
+	# acceptance gate for PR 5 is speedup >= 5.
+	awk -v json="$JSON" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns[name] += $3
+		cnt[name]++
+	}
+	END {
+		naive = ns["BenchmarkCompiledVsNaive/naive"] / cnt["BenchmarkCompiledVsNaive/naive"]
+		comp = ns["BenchmarkCompiledVsNaive/compiled"] / cnt["BenchmarkCompiledVsNaive/compiled"]
+		speedup = naive / comp
+		printf "{\n" > json
+		printf "  \"benchmark\": \"BenchmarkCompiledVsNaive\",\n" >> json
+		printf "  \"topology\": {\"services\": 100, \"microservices_per_service\": 50, \"sharing_degree\": 10},\n" >> json
+		printf "  \"naive_ns_per_window\": %.0f,\n", naive >> json
+		printf "  \"compiled_ns_per_window\": %.0f,\n", comp >> json
+		printf "  \"speedup\": %.2f,\n", speedup >> json
+		printf "  \"gate\": \"speedup >= 5\",\n" >> json
+		printf "  \"pass\": %s\n", (speedup >= 5 ? "true" : "false") >> json
+		printf "}\n" >> json
+		printf "bench5 speedup: %.2fx (gate >= 5): %s\n", speedup, (speedup >= 5 ? "PASS" : "FAIL")
+	}' "$OUT"
+	echo "wrote $OUT and $JSON"
 }
-END {
-	naive = ns["BenchmarkCompiledVsNaive/naive"] / cnt["BenchmarkCompiledVsNaive/naive"]
-	comp = ns["BenchmarkCompiledVsNaive/compiled"] / cnt["BenchmarkCompiledVsNaive/compiled"]
-	speedup = naive / comp
-	printf "{\n" > json
-	printf "  \"benchmark\": \"BenchmarkCompiledVsNaive\",\n" >> json
-	printf "  \"topology\": {\"services\": 100, \"microservices_per_service\": 50, \"sharing_degree\": 10},\n" >> json
-	printf "  \"naive_ns_per_window\": %.0f,\n", naive >> json
-	printf "  \"compiled_ns_per_window\": %.0f,\n", comp >> json
-	printf "  \"speedup\": %.2f,\n", speedup >> json
-	printf "  \"gate\": \"speedup >= 5\",\n" >> json
-	printf "  \"pass\": %s\n", (speedup >= 5 ? "true" : "false") >> json
-	printf "}\n" >> json
-	printf "speedup: %.2fx (gate >= 5): %s\n", speedup, (speedup >= 5 ? "PASS" : "FAIL")
-}' "$OUT"
 
-echo "wrote $OUT and $JSON"
+bench6() {
+	OUT="${BENCH_OUT:-bench_6.txt}"
+	JSON="${BENCH_JSON:-BENCH_6.json}"
+	echo "== bench6: incremental sharded planning (benchtime=$BENCHTIME count=$COUNT) =="
+	go test -run '^$' -bench 'BenchmarkIncrementalVsCompiled' \
+		-benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
+		./internal/multiplex | tee "$OUT"
+
+	# Fold into BENCH_6.json: mean ns/op for the monolithic compiled planner
+	# vs the incremental planner at 10% dirty services per window. The
+	# acceptance gate for PR 6 is compiled / incremental >= 5.
+	awk -v json="$JSON" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns[name] += $3
+		cnt[name]++
+	}
+	END {
+		comp = ns["BenchmarkIncrementalVsCompiled/compiled"] / cnt["BenchmarkIncrementalVsCompiled/compiled"]
+		incr = ns["BenchmarkIncrementalVsCompiled/incremental"] / cnt["BenchmarkIncrementalVsCompiled/incremental"]
+		speedup = comp / incr
+		printf "{\n" > json
+		printf "  \"benchmark\": \"BenchmarkIncrementalVsCompiled\",\n" >> json
+		printf "  \"topology\": {\"services\": 1000, \"microservices_per_service\": 50, \"sharing_degree\": 10},\n" >> json
+		printf "  \"dirty_frac\": 0.1,\n" >> json
+		printf "  \"compiled_ns_per_window\": %.0f,\n", comp >> json
+		printf "  \"incremental_ns_per_window\": %.0f,\n", incr >> json
+		printf "  \"speedup\": %.2f,\n", speedup >> json
+		printf "  \"gate\": \"speedup >= 5\",\n" >> json
+		printf "  \"pass\": %s\n", (speedup >= 5 ? "true" : "false") >> json
+		printf "}\n" >> json
+		printf "bench6 speedup: %.2fx (gate >= 5): %s\n", speedup, (speedup >= 5 ? "PASS" : "FAIL")
+	}' "$OUT"
+	echo "wrote $OUT and $JSON"
+}
+
+case "$TARGET" in
+bench5) bench5 ;;
+bench6) bench6 ;;
+all)
+	bench5
+	bench6
+	;;
+*)
+	echo "usage: scripts/bench.sh [bench5|bench6|all]" >&2
+	exit 2
+	;;
+esac

@@ -39,16 +39,22 @@ go test -run 'TestFaultTablesIdenticalAcrossWorkers|TestGenerateDeterministic' \
 echo "== resilience determinism (fig23, workers=1 vs 4) =="
 go test -run 'TestFig23' -count=1 ./internal/experiments
 
-# The planner-scalability gate (PR 5): the compiled-template path must stay
-# bit-identical to the naive planner, and both figScale's deterministic table
-# and parallel PlanScheme must be byte-identical at one worker and four.
-echo "== planner determinism (figScale + PlanScheme, workers=1 vs 4) =="
+# The planner-scalability gate (PR 5 + PR 6): the compiled-template path must
+# stay bit-identical to the naive planner, the incremental sharded planner
+# must stay bit-identical to the monolithic one at shards=1 and shards=4 (and
+# under random mutation sequences against the from-scratch oracle), and the
+# figScale/figShard deterministic tables must be byte-identical at one worker
+# and four.
+echo "== planner determinism (figScale + figShard + PlanScheme + incremental, workers=1 vs 4) =="
 go test -count=1 \
-	-run 'TestFigScaleDeterministicAcrossWorkers|TestPlanSchemeByteIdenticalAcrossWorkers|TestPlanSchemeCachedBitIdentical' \
+	-run 'TestFigScaleDeterministicAcrossWorkers|TestFigShardDeterministicAcrossWorkers|TestPlanSchemeByteIdenticalAcrossWorkers|TestPlanSchemeCachedBitIdentical|TestIncremental' \
 	./internal/experiments ./internal/multiplex
 
 # One-iteration smoke of the planner benchmarks: catches bit-rot in the
-# bench harness and the BENCH_5.json fold without paying full benchtime.
+# bench harnesses and the BENCH_{5,6}.json folds without paying full
+# benchtime.
 echo "== bench smoke (1 iteration) =="
 BENCH_SMOKE=1 BENCH_OUT=/tmp/bench_5_smoke.txt BENCH_JSON=/tmp/BENCH_5_smoke.json \
-	scripts/bench.sh >/dev/null
+	scripts/bench.sh bench5 >/dev/null
+BENCH_SMOKE=1 BENCH_OUT=/tmp/bench_6_smoke.txt BENCH_JSON=/tmp/BENCH_6_smoke.json \
+	scripts/bench.sh bench6 >/dev/null
