@@ -9,6 +9,12 @@
 //	ermsctl -app alibaba -services 100 -rate 5000 -plan -scheme fcfs
 //	ermsctl -app hotel -rate 30000 -profile -evaluate
 //	ermsctl -app hotel -rate 12000 -chaos -chaos-windows 8
+//	ermsctl run -spec examples/quickstart/quickstart.yaml -timeline timeline.csv
+//
+// With -spec, the whole scenario — application, cohorts, SLO tiers,
+// population-dynamics phases, resilience — comes from the declarative
+// workload spec, and scenario-shaping flags (-app, -rate, -resilience, ...)
+// are rejected as contradictory.
 package main
 
 import (
@@ -27,8 +33,10 @@ import (
 
 	"erms"
 	"erms/internal/chaos"
+	"erms/internal/obs"
 	"erms/internal/parallel"
 	"erms/internal/persist"
+	"erms/internal/spec"
 )
 
 func main() {
@@ -70,9 +78,24 @@ func main() {
 		resBudget  = flag.Float64("retry-budget", 0.1, "with -resilience: retry tokens earned per success (0 = unbounded retries, the naive storm)")
 		resBreaker = flag.Float64("breaker", 0.5, "with -resilience: circuit-breaker failure-rate threshold per (service, microservice) (0 = no breakers)")
 		resShed    = flag.Bool("shed", false, "with -resilience: shed calls at enqueue when the estimated wait overruns the deadline")
+
+		specPath = flag.String("spec", "", "run a declarative workload spec (YAML or JSON); replaces all scenario-shaping flags")
+		timeline = flag.String("timeline", "timeline.csv", "with -spec: write the per-minute per-tier timeline CSV to this file (empty = skip)")
 	)
-	flag.Parse()
+	// Accept an optional leading "run" subcommand (ermsctl run -spec ...);
+	// flag parsing stops at the first non-flag argument, so strip it first.
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "run" {
+		args = args[1:]
+	}
+	flag.CommandLine.Parse(args)
 	parallel.SetWorkers(*workers)
+
+	if *specPath != "" {
+		rejectSpecConflicts(*specPath)
+	} else if flagWasSet("timeline") {
+		log.Fatal("-timeline only applies to spec runs; add -spec <file> or drop -timeline")
+	}
 
 	// Profile defers are registered first so they run last: with -obs-addr,
 	// holdForScrape blocks until interrupt, and the profiles are written
@@ -107,6 +130,11 @@ func main() {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", path)
 		}()
+	}
+
+	if *specPath != "" {
+		runSpec(*specPath, *timeline, *obsAddr, *shards)
+		return
 	}
 
 	var app *erms.App
@@ -455,5 +483,93 @@ func runChaosLoop(sys *erms.System, app *erms.App, rates map[string]float64,
 		fmt.Printf("%-4d %-28s %10d %8d %7d %7.3f  %s\n",
 			w, sched.Summary(w), rep.Containers, rep.Repaired, rep.Retries, worst,
 			strings.Join(flags, ","))
+	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// specConflicts are the scenario-shaping flags a workload spec replaces:
+// setting any of them together with -spec is contradictory and rejected.
+var specConflicts = []string{
+	"app", "services", "rate", "rates", "scheme", "hosts", "seed", "minutes",
+	"plan", "evaluate", "profile", "dot", "save-plan", "save-app", "load-app",
+	"chaos", "chaos-windows", "chaos-naive", "plan-windows", "dirty-frac",
+	"resilience", "timeout-sla", "attempt-timeout", "retries", "retry-budget",
+	"breaker", "shed",
+}
+
+// rejectSpecConflicts fails fast when -spec is combined with flags the spec
+// itself defines.
+func rejectSpecConflicts(specFile string) {
+	conflicting := make(map[string]bool, len(specConflicts))
+	for _, name := range specConflicts {
+		conflicting[name] = true
+	}
+	var bad []string
+	flag.Visit(func(f *flag.Flag) {
+		if conflicting[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		log.Fatalf("-spec %s defines the whole scenario (app, workload, run, resilience); "+
+			"drop the contradictory flag(s): %s", specFile, strings.Join(bad, ", "))
+	}
+}
+
+// runSpec parses, compiles, and runs a declarative workload spec, printing
+// the per-tier outcome summary and writing the timeline CSV artifact.
+func runSpec(path, timelinePath, obsAddr string, shards int) {
+	s, err := spec.ParseFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.PlanShards = shards
+	var rec *obs.Recorder
+	if obsAddr != "" {
+		rec = obs.New(nil)
+		go func() {
+			if err := rec.ListenAndServe(obsAddr); err != nil {
+				log.Fatalf("obs endpoint: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "self-observability on http://%s (/metrics, /spans, /debug/pprof)\n", obsAddr)
+	}
+	start := time.Now()
+	res, err := sc.Run(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Report(os.Stdout)
+	fmt.Printf("run took %.2fs wall\n", time.Since(start).Seconds())
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteTimelineCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", timelinePath)
+	}
+	if obsAddr != "" {
+		holdForScrape(obsAddr)
 	}
 }

@@ -399,13 +399,19 @@ func (c *Controller) Evaluate(rates map[string]float64, durationMin, warmupMin f
 	return c.EvaluatePlan(plan, rates, durationMin, warmupMin, seed)
 }
 
-// EvalOpts carries fault-injection inputs for one evaluation window.
+// EvalOpts carries fault-injection and workload-shape inputs for one
+// evaluation window.
 type EvalOpts struct {
 	// Failures are container/host outages injected into the window's
 	// simulation (times relative to the window start).
 	Failures []sim.Failure
 	// DropMinutes are window minutes whose metrics and traces are lost.
 	DropMinutes []int
+	// Streams replaces the per-service Static patterns derived from rates
+	// with explicit SLO-tiered cohort streams (see sim.Stream). Services
+	// covered by at least one stream ignore their rates entry; per-tier
+	// outcomes are surfaced under the erms.data.tier_* counters.
+	Streams []sim.Stream
 }
 
 // EvaluatePlan applies a precomputed plan and simulates it.
@@ -423,8 +429,14 @@ func (c *Controller) EvaluatePlan(plan *multiplex.Plan, rates map[string]float64
 // applying a fresh plan failed.
 func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]float64, durationMin, warmupMin float64, seed uint64, opts EvalOpts) (*EvalResult, error) {
 	patterns := make(map[string]workload.Pattern, len(rates))
+	streamed := make(map[string]bool, len(opts.Streams))
+	for _, s := range opts.Streams {
+		streamed[s.Service] = true
+	}
 	for svc, r := range rates {
-		patterns[svc] = workload.Static{Rate: r}
+		if !streamed[svc] {
+			patterns[svc] = workload.Static{Rate: r}
+		}
 	}
 	cfg := sim.Config{
 		Seed:           seed,
@@ -443,6 +455,7 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		Failures:       opts.Failures,
 		DropMinutes:    opts.DropMinutes,
 		Resilience:     c.Resilience,
+		Streams:        opts.Streams,
 	}
 	rt, err := sim.NewRuntime(cfg)
 	if err != nil {
@@ -492,6 +505,33 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 	}
 	if c.Obs != nil && c.Resilience != nil {
 		c.Obs.Add(obs.CtrDataErrors, float64(errors))
+	}
+	if c.Obs != nil && len(res.PerStream) > 0 {
+		// Per-SLO-tier outcome counters: success/slow/error from the stream
+		// results, shed at call granularity from the data plane.
+		type acc struct{ success, slow, errs int }
+		byTier := make(map[workload.Tier]*acc, workload.NumTiers)
+		for _, sr := range res.PerStream {
+			a := byTier[sr.Tier]
+			if a == nil {
+				a = &acc{}
+				byTier[sr.Tier] = a
+			}
+			a.success += sr.Good()
+			a.slow += sr.Violations
+			a.errs += sr.Errors
+		}
+		for _, tier := range workload.Tiers() {
+			a := byTier[tier]
+			if a == nil {
+				continue
+			}
+			name := tier.String()
+			c.Obs.Add(obs.TierDataCounter(name, "success"), float64(a.success))
+			c.Obs.Add(obs.TierDataCounter(name, "slow"), float64(a.slow))
+			c.Obs.Add(obs.TierDataCounter(name, "error"), float64(a.errs))
+			c.Obs.Add(obs.TierDataCounter(name, "shed"), float64(res.Data.ShedByTier[tier]))
+		}
 	}
 	return out, nil
 }

@@ -94,6 +94,9 @@ const (
 	CtrDataUnavailable          = "erms.data.unavailable_total"
 	CtrDataErrors               = "erms.data.request_errors_total"
 
+	// Per-SLO-tier data-plane outcomes (populated by cohort-stream
+	// evaluations, e.g. spec-driven runs). See TierDataCounter.
+
 	// Chaos events observed by the injector.
 	CtrChaosHostsFailed    = "erms.self.chaos_hosts_failed_total"
 	CtrChaosHostsRecovered = "erms.self.chaos_hosts_recovered_total"
@@ -102,6 +105,28 @@ const (
 	CtrChaosOpFaults       = "erms.self.chaos_op_faults_total"
 	CtrChaosObsGaps        = "erms.self.chaos_obs_gaps_total"
 )
+
+// TierDataCounter maps an SLO tier name (workload.Tier.String(): "critical",
+// "standard", "sheddable", "batch") and an outcome class ("success", "slow",
+// "error", "shed") to its erms.data.* counter name. Precomputed so the
+// per-window surfacing path performs no string concatenation; unknown pairs
+// fold into a catch-all counter rather than minting unbounded names.
+func TierDataCounter(tier, outcome string) string {
+	if name, ok := tierDataCounters[tier+"/"+outcome]; ok {
+		return name
+	}
+	return "erms.data.tier_unknown_total"
+}
+
+var tierDataCounters = func() map[string]string {
+	m := make(map[string]string, 16)
+	for _, tier := range []string{"critical", "standard", "sheddable", "batch"} {
+		for _, outcome := range []string{"success", "slow", "error", "shed"} {
+			m[tier+"/"+outcome] = "erms.data.tier_" + tier + "_" + outcome + "_total"
+		}
+	}
+	return m
+}()
 
 // KubeEventCounter maps a kube event-type string (kube.EventType.String())
 // to its erms.self.* counter name. Precomputed so the orchestrator's emit

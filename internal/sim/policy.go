@@ -1,12 +1,19 @@
 package sim
 
-import "erms/internal/stats"
+import (
+	"erms/internal/stats"
+	"erms/internal/workload"
+)
 
 // Job is one call waiting at or being processed by a container.
 type Job struct {
 	Service  string
 	Priority int // 0 is highest; only meaningful under PriorityPolicy
 	Enqueued float64
+	// Tier is the SLO tier of the request this call belongs to, inherited
+	// from the issuing cohort stream (workload.TierStandard on the untiered
+	// Patterns path). Admission control sheds high-factor tiers first.
+	Tier workload.Tier
 
 	onServed func()
 

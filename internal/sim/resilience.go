@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"erms/internal/graph"
+	"erms/internal/workload"
 )
 
 // Resilience enables the data-plane fault model (§DESIGN 4d): per-call
@@ -62,6 +63,15 @@ type Resilience struct {
 	// ShedMaxWaitMs is an absolute bound on estimated queue wait (0 = only
 	// the deadline-derived bound sheds).
 	ShedMaxWaitMs float64
+	// TierShedFactors scales admission-control aggressiveness per SLO tier,
+	// indexed by workload.Tier: a job's estimated queue wait is multiplied by
+	// its tier's factor before the shed comparisons, so tiers with a factor
+	// above 1 are shed earlier (they "see" a longer queue) and tiers below 1
+	// hold on longer. The all-zero value takes the documented defaults
+	// {critical: 0.25, standard: 1, sheddable: 2.5, batch: 4}; standard's
+	// factor of exactly 1 keeps runs without tiered streams byte-identical
+	// to the historical shed policy.
+	TierShedFactors [workload.NumTiers]float64
 }
 
 // withDefaults returns a copy with zero values replaced by documented
@@ -88,7 +98,21 @@ func (r Resilience) withDefaults() Resilience {
 	if r.BreakerProbes <= 0 {
 		r.BreakerProbes = 1
 	}
+	if r.TierShedFactors == ([workload.NumTiers]float64{}) {
+		r.TierShedFactors = DefaultTierShedFactors
+	}
 	return r
+}
+
+// DefaultTierShedFactors is the default per-tier admission-control scaling:
+// batch traffic is shed ~4× earlier than standard, sheddable ~2.5× earlier,
+// and critical holds on 4× longer. Standard is exactly 1 so untiered runs
+// match the historical shed policy bit for bit.
+var DefaultTierShedFactors = [workload.NumTiers]float64{
+	workload.TierCritical:  0.25,
+	workload.TierStandard:  1,
+	workload.TierSheddable: 2.5,
+	workload.TierBatch:     4,
 }
 
 // validate rejects out-of-range resilience parameters.
@@ -108,6 +132,11 @@ func (r *Resilience) validate() error {
 		return fmt.Errorf("sim: Resilience.BreakerFailureRate %v must be in [0,1]", r.BreakerFailureRate)
 	case r.ShedMaxWaitMs < 0:
 		return fmt.Errorf("sim: Resilience.ShedMaxWaitMs %v must be >= 0", r.ShedMaxWaitMs)
+	}
+	for t, f := range r.TierShedFactors {
+		if f < 0 {
+			return fmt.Errorf("sim: Resilience.TierShedFactors[%s] %v must be >= 0", workload.Tier(t), f)
+		}
 	}
 	return nil
 }
@@ -185,6 +214,10 @@ type DataStats struct {
 	BreakerShortCircuits int
 	// Shed counts calls rejected by admission control.
 	Shed int
+	// ShedByTier splits Shed by the SLO tier of the shed call, indexed by
+	// workload.Tier. Untiered runs accumulate everything under
+	// workload.TierStandard.
+	ShedByTier [workload.NumTiers]int
 	// CrashFailures counts in-flight calls failed by a container crash.
 	CrashFailures int
 	// DeadlineSkips counts calls dropped without executing because the
@@ -364,13 +397,20 @@ func (rt *Runtime) buildResilience() {
 
 // shouldShed is the admission-control decision at enqueue: reject when the
 // estimated queue wait already makes the job's deadline unreachable, or
-// exceeds the absolute ShedMaxWaitMs bound.
+// exceeds the absolute ShedMaxWaitMs bound. The wait estimate is scaled by
+// the job's SLO-tier factor before both comparisons, which is what makes
+// shedding prefer batch and sheddable traffic over standard and critical:
+// under the same queue, a batch job sees a 4× wait and folds early while a
+// critical job sees a quarter of it and is admitted.
 func (rt *Runtime) shouldShed(cs *containerState, job *Job) bool {
 	if !rt.res.Shed {
 		return false
 	}
 	base := rt.cfg.Profiles[cs.c.Spec.Microservice].BaseMs
 	wait := float64(len(cs.queue)) * base / float64(cs.c.Spec.Threads)
+	if job.Tier.Valid() {
+		wait *= rt.res.TierShedFactors[job.Tier]
+	}
 	if rt.res.ShedMaxWaitMs > 0 && wait > rt.res.ShedMaxWaitMs {
 		return true
 	}

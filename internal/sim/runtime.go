@@ -111,6 +111,32 @@ type Config struct {
 	// failure semantics. Nil (the default) keeps the historical infallible
 	// data plane — runs are byte-identical to earlier releases.
 	Resilience *Resilience
+	// Streams replaces Patterns with named client cohorts: each stream is an
+	// independent arrival process onto one service, tagged with an SLO tier
+	// that the whole request tree inherits (admission control sheds batch and
+	// sheddable tiers before standard and critical). A service with at least
+	// one stream ignores its Patterns entry; services without streams fall
+	// back to Patterns/ClosedUsers. Per-stream outcomes land in
+	// Result.PerStream and per-minute in Result.StreamMinutes. Empty (the
+	// default) keeps the historical per-service workload model byte for byte.
+	Streams []Stream
+}
+
+// Stream is one client cohort: an arrival pattern onto a service with an SLO
+// tier and an optional cohort-specific SLA for outcome classification
+// (falling back to the service SLA in Config.SLAs).
+type Stream struct {
+	// Cohort names the stream (for results and the timeline artifact).
+	Cohort string
+	// Service is the target online service; must match one of Config.Graphs.
+	Service string
+	// Tier is the stream's SLO tier.
+	Tier workload.Tier
+	// Pattern is the offered load in requests/minute.
+	Pattern workload.Pattern
+	// SLA optionally overrides the service SLA when classifying this
+	// stream's outcomes.
+	SLA *workload.SLA
 }
 
 // Failure describes one injected outage. Two scopes exist:
@@ -180,11 +206,31 @@ func (c *Config) validate() error {
 	if len(c.Graphs) == 0 {
 		return errors.New("sim: no dependency graphs")
 	}
+	streamed := make(map[string]bool, len(c.Streams))
+	for i, s := range c.Streams {
+		if s.Pattern == nil {
+			return fmt.Errorf("sim: Streams[%d] (%q) has no arrival pattern", i, s.Cohort)
+		}
+		if !s.Tier.Valid() {
+			return fmt.Errorf("sim: Streams[%d] (%q) has invalid tier %d", i, s.Cohort, int(s.Tier))
+		}
+		found := false
+		for _, g := range c.Graphs {
+			if g.Service == s.Service {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sim: Streams[%d] (%q) targets unknown service %q", i, s.Cohort, s.Service)
+		}
+		streamed[s.Service] = true
+	}
 	for _, g := range c.Graphs {
 		if err := g.Validate(); err != nil {
 			return err
 		}
-		if _, ok := c.Patterns[g.Service]; !ok {
+		if _, ok := c.Patterns[g.Service]; !ok && !streamed[g.Service] {
 			if _, closed := c.ClosedUsers[g.Service]; !closed {
 				return fmt.Errorf("sim: no workload pattern for service %s", g.Service)
 			}
@@ -274,6 +320,70 @@ func (s *ServiceResult) ErrorRate() float64 {
 // the numerator of goodput.
 func (s *ServiceResult) Good() int { return s.Count - s.Violations }
 
+// StreamResult aggregates end-to-end outcomes for one cohort stream, using
+// the stream's own SLA when set (the service SLA otherwise).
+type StreamResult struct {
+	Cohort  string
+	Service string
+	Tier    workload.Tier
+	// Count is completed requests (success + slow); Violations the slow
+	// subset; Errors outright failures; Shed the subset of Errors whose
+	// final failure was admission-control rejection.
+	Count      int
+	Violations int
+	Errors     int
+	Shed       int
+
+	lat *stats.Reservoir
+}
+
+// P95 returns the stream's 95th-percentile end-to-end latency.
+func (s *StreamResult) P95() float64 { return s.lat.Quantile(0.95) }
+
+// Quantile returns an arbitrary end-to-end latency quantile.
+func (s *StreamResult) Quantile(q float64) float64 { return s.lat.Quantile(q) }
+
+// Good returns requests completed within the stream's SLA.
+func (s *StreamResult) Good() int { return s.Count - s.Violations }
+
+// ViolationRate returns the fraction of issued requests that missed the SLA
+// (slow completions plus errors).
+func (s *StreamResult) ViolationRate() float64 {
+	total := s.Count + s.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Violations+s.Errors) / float64(total)
+}
+
+// ErrorRate returns the fraction of issued requests that failed outright.
+func (s *StreamResult) ErrorRate() float64 {
+	total := s.Count + s.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(total)
+}
+
+// StreamMinute is the per-minute outcome row of one stream, the raw material
+// of the spec runner's timeline artifact. Issued counts requests that
+// started in the minute; Completed/Good/Slow/Errors/Shed count requests
+// whose outcome landed in the minute (a request issued late in minute m may
+// complete in m+1).
+type StreamMinute struct {
+	Minute int
+	// Stream indexes Config.Streams / Result.PerStream.
+	Stream int
+	Issued int
+	// Completed = Good + Slow.
+	Completed int
+	Good      int
+	Slow      int
+	Errors    int
+	// Shed is the subset of Errors rejected by admission control.
+	Shed int
+}
+
 // Result is the outcome of a simulation run.
 type Result struct {
 	// PerService holds end-to-end latency statistics keyed by service.
@@ -292,6 +402,13 @@ type Result struct {
 	// Data holds the data-plane resilience counters (all zero when
 	// Config.Resilience is nil).
 	Data DataStats
+	// PerStream holds one result per Config.Streams entry, index-aligned.
+	// Nil when no streams are configured.
+	PerStream []*StreamResult
+	// StreamMinutes holds per-minute, per-stream outcome rows in (minute,
+	// stream) order — only minutes past the warmup and not dropped. Nil when
+	// no streams are configured.
+	StreamMinutes []StreamMinute
 }
 
 // RunStats bundles the run's engine counters with the job free-list's
@@ -359,6 +476,16 @@ type Runtime struct {
 	edges    map[*graph.Node]*edgeState
 	breakers map[string]*breaker
 	data     DataStats
+
+	// Cohort-stream runtime (nil when Config.Streams is empty).
+	streamsBySvc map[string][]int
+	streamAcc    []streamMinuteAcc
+}
+
+// streamMinuteAcc accumulates one stream's outcomes within the current
+// minute; flushMinute drains it into Result.StreamMinutes.
+type streamMinuteAcc struct {
+	issued, completed, good, slow, errors, shed int
 }
 
 // getJob takes a Job from the free list (or allocates one).
@@ -446,7 +573,30 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		rt.svcMSCalls[g.Service] = make(map[string]int)
 	}
+	if len(cfg.Streams) > 0 {
+		rt.streamsBySvc = make(map[string][]int)
+		rt.streamAcc = make([]streamMinuteAcc, len(cfg.Streams))
+		rt.result.PerStream = make([]*StreamResult, len(cfg.Streams))
+		for i, s := range cfg.Streams {
+			rt.result.PerStream[i] = &StreamResult{
+				Cohort:  s.Cohort,
+				Service: s.Service,
+				Tier:    s.Tier,
+				lat:     stats.NewReservoir(1<<15, rt.rng.Split()),
+			}
+			rt.streamsBySvc[s.Service] = append(rt.streamsBySvc[s.Service], i)
+		}
+	}
 	return rt, nil
+}
+
+// streamSLA resolves the SLA a stream's outcomes are classified against.
+func (rt *Runtime) streamSLA(si int) (workload.SLA, bool) {
+	if s := rt.cfg.Streams[si].SLA; s != nil {
+		return *s, true
+	}
+	sla, ok := rt.cfg.SLAs[rt.cfg.Streams[si].Service]
+	return sla, ok
 }
 
 // Run executes the simulation and returns aggregated results.
@@ -455,9 +605,18 @@ func (rt *Runtime) Run() *Result {
 	warmMs := rt.cfg.WarmupMin * 60_000
 
 	// Schedule request arrivals per service: open-loop Poisson replay by
-	// default, or a closed-loop user population where configured.
+	// default, or a closed-loop user population where configured. Services
+	// with cohort streams run one independent arrival process per stream
+	// (each with its own split RNG, in stream-index order) instead.
 	for _, g := range rt.cfg.Graphs {
 		g := g
+		if idxs, ok := rt.streamsBySvc[g.Service]; ok {
+			for _, si := range idxs {
+				arr := workload.Arrivals(rt.cfg.Streams[si].Pattern, rt.rng.Split(), 0, rt.cfg.DurationMin)
+				rt.scheduleStreamArrivals(g, si, arr, warmMs)
+			}
+			continue
+		}
 		if users, ok := rt.cfg.ClosedUsers[g.Service]; ok {
 			rt.startClosedLoop(g, users, endMs, warmMs)
 			continue
@@ -549,14 +708,36 @@ func (rt *Runtime) scheduleArrivals(g *graph.Graph, arr []float64, warmMs float6
 	rt.eng.At(arr[0], walk)
 }
 
+// scheduleStreamArrivals is scheduleArrivals for one cohort stream: the same
+// lazy walk, with every request tagged by the stream index.
+func (rt *Runtime) scheduleStreamArrivals(g *graph.Graph, si int, arr []float64, warmMs float64) {
+	if len(arr) == 0 {
+		return
+	}
+	idx := 0
+	var walk func()
+	walk = func() {
+		t := arr[idx]
+		idx++
+		if idx < len(arr) {
+			rt.eng.At(arr[idx], walk)
+		}
+		rt.startRequestWith(g, si, t >= warmMs, nil)
+	}
+	rt.eng.At(arr[0], walk)
+}
+
 // startRequest begins one end-to-end request for the given service graph.
 func (rt *Runtime) startRequest(g *graph.Graph, measured bool) {
-	rt.startRequestWith(g, measured, nil)
+	rt.startRequestWith(g, -1, measured, nil)
 }
 
 // startRequestWith additionally invokes then() when the request completes
-// (used by the closed-loop client).
-func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) {
+// (used by the closed-loop client). si identifies the issuing cohort stream
+// (-1 on the untiered Patterns path); stream requests propagate their SLO
+// tier down the whole call tree and record per-stream outcomes on top of the
+// per-service ones.
+func (rt *Runtime) startRequestWith(g *graph.Graph, si int, measured bool, then func()) {
 	rt.nextTrace++
 	traceID := rt.nextTrace
 	sampled := rt.cfg.Observer != nil && rt.rng.Float64() < rt.cfg.SampleRate
@@ -569,11 +750,19 @@ func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) 
 	}
 	svc := g.Service
 
+	tier := workload.TierStandard
+	sla, hasSLA := rt.cfg.SLAs[svc]
+	if si >= 0 {
+		tier = rt.cfg.Streams[si].Tier
+		sla, hasSLA = rt.streamSLA(si)
+		rt.streamAcc[si].issued++
+	}
+
 	// The request deadline (resilience only): derived from the SLA when
 	// configured, else the absolute request timeout. 0 = unbounded.
 	var deadline float64
 	if rt.res != nil {
-		if sla, ok := rt.cfg.SLAs[svc]; ok && rt.res.TimeoutSLAMultiple > 0 {
+		if hasSLA && rt.res.TimeoutSLAMultiple > 0 {
 			deadline = t0 + rt.res.TimeoutSLAMultiple*sla.Threshold
 		} else if rt.res.RequestTimeoutMs > 0 {
 			deadline = t0 + rt.res.RequestTimeoutMs
@@ -581,14 +770,32 @@ func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) 
 	}
 
 	success := func() {
+		// Fires at the client-receive instant of the root call.
+		lat := rt.eng.Now() - t0
+		slow := hasSLA && lat > sla.Threshold
 		if measured {
 			res := rt.result.PerService[svc]
-			// Fires at the client-receive instant of the root call.
-			lat := rt.eng.Now() - t0
 			res.Count++
 			res.lat.Add(lat)
-			if sla, ok := rt.cfg.SLAs[svc]; ok && lat > sla.Threshold {
+			if slow {
 				res.Violations++
+			}
+			if si >= 0 {
+				sr := rt.result.PerStream[si]
+				sr.Count++
+				sr.lat.Add(lat)
+				if slow {
+					sr.Violations++
+				}
+			}
+		}
+		if si >= 0 {
+			acc := &rt.streamAcc[si]
+			acc.completed++
+			if slow {
+				acc.slow++
+			} else {
+				acc.good++
 			}
 		}
 		if then != nil {
@@ -597,16 +804,30 @@ func (rt *Runtime) startRequestWith(g *graph.Graph, measured bool, then func()) 
 	}
 	var fail func(CallErr)
 	if rt.res != nil {
-		fail = func(CallErr) {
+		fail = func(err CallErr) {
 			if measured {
 				rt.result.PerService[svc].Errors++
+				if si >= 0 {
+					sr := rt.result.PerStream[si]
+					sr.Errors++
+					if err == ErrShed {
+						sr.Shed++
+					}
+				}
+			}
+			if si >= 0 {
+				acc := &rt.streamAcc[si]
+				acc.errors++
+				if err == ErrShed {
+					acc.shed++
+				}
 			}
 			if then != nil {
 				then()
 			}
 		}
 	}
-	rt.execNode(svc, traceID, sampled, g.Root, "", -1, 0, deadline, success, fail)
+	rt.execNode(svc, tier, traceID, sampled, g.Root, "", -1, 0, deadline, success, fail)
 }
 
 // startClosedLoop spawns a closed-loop user population for one service: each
@@ -623,7 +844,7 @@ func (rt *Runtime) startClosedLoop(g *graph.Graph, users int, endMs, warmMs floa
 		if rt.eng.Now() >= endMs {
 			return
 		}
-		rt.startRequestWith(g, rt.eng.Now() >= warmMs, func() {
+		rt.startRequestWith(g, -1, rt.eng.Now() >= warmMs, func() {
 			rt.eng.Schedule(think*rng.ExpFloat64(), userLoop)
 		})
 	}
@@ -637,12 +858,13 @@ func (rt *Runtime) startClosedLoop(g *graph.Graph, users int, endMs, warmMs floa
 // a single attempt that always completes; with resilience enabled, an
 // attempt loop with deadline propagation, breaker short-circuiting,
 // per-attempt timeouts, and budgeted retries with exponential backoff.
-// deadline is the absolute propagated deadline in ms (0 = none). onDone
+// deadline is the absolute propagated deadline in ms (0 = none); tier is the
+// issuing request's SLO tier, inherited by every downstream call. onDone
 // fires on success; onFail (nil on the disabled path) receives the final
 // failure.
-func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, deadline float64, onDone func(), onFail func(CallErr)) {
+func (rt *Runtime) execNode(svc string, tier workload.Tier, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, deadline float64, onDone func(), onFail func(CallErr)) {
 	if rt.res == nil {
-		rt.issueCall(svc, traceID, sampled, n, parentMS, parentID, stage, 0, nil, onDone, nil)
+		rt.issueCall(svc, tier, traceID, sampled, n, parentMS, parentID, stage, 0, nil, onDone, nil)
 		return
 	}
 	edge := rt.edges[n]
@@ -712,7 +934,7 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 			})
 		}
 		rt.data.Attempts++
-		rt.issueCall(svc, traceID, sampled, n, parentMS, parentID, stage, attemptDeadline, at,
+		rt.issueCall(svc, tier, traceID, sampled, n, parentMS, parentID, stage, attemptDeadline, at,
 			func() { settle(ErrNone) }, settle)
 	}
 	tryAttempt(0)
@@ -724,12 +946,13 @@ func (rt *Runtime) execNode(svc string, traceID int64, sampled bool, n *graph.No
 // this attempt (0 = none); at is the client's settle guard (nil on the
 // disabled path); onFail (nil on the disabled path) receives server-side and
 // downstream failures.
-func (rt *Runtime) issueCall(svc string, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, attemptDeadline float64, at *attemptState, onDone func(), onFail func(CallErr)) {
+func (rt *Runtime) issueCall(svc string, tier workload.Tier, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, attemptDeadline float64, at *attemptState, onDone func(), onFail func(CallErr)) {
 	clientSend := rt.eng.Now()
 	serverRecv := clientSend + rt.cfg.NetworkDelayMs
 	ms := n.Microservice
 
 	job := rt.getJob(svc, serverRecv)
+	job.Tier = tier
 	if ranks, ok := rt.cfg.Priorities[ms]; ok {
 		job.Priority = ranks[svc]
 	}
@@ -790,7 +1013,7 @@ func (rt *Runtime) issueCall(svc string, traceID int64, sampled bool, n *graph.N
 			}
 			remaining := len(n.Stages[k])
 			for _, child := range n.Stages[k] {
-				rt.execNode(svc, traceID, sampled, child, ms, n.ID, k, childDeadline, func() {
+				rt.execNode(svc, tier, traceID, sampled, child, ms, n.ID, k, childDeadline, func() {
 					if settled {
 						return
 					}
@@ -898,6 +1121,9 @@ func (rt *Runtime) enqueue(ms string, job *Job) {
 		}
 		if rt.shouldShed(cs, job) {
 			rt.data.Shed++
+			if job.Tier.Valid() {
+				rt.data.ShedByTier[job.Tier]++
+			}
 			rt.failJob(job, ErrShed)
 			return
 		}
@@ -1020,6 +1246,22 @@ func (rt *Runtime) flushMinute(m int, record bool) {
 		}
 		if record {
 			rt.result.Samples = append(rt.result.Samples, sample)
+		}
+	}
+	for si := range rt.streamAcc {
+		acc := rt.streamAcc[si]
+		rt.streamAcc[si] = streamMinuteAcc{}
+		if record {
+			rt.result.StreamMinutes = append(rt.result.StreamMinutes, StreamMinute{
+				Minute:    m,
+				Stream:    si,
+				Issued:    acc.issued,
+				Completed: acc.completed,
+				Good:      acc.good,
+				Slow:      acc.slow,
+				Errors:    acc.errors,
+				Shed:      acc.shed,
+			})
 		}
 	}
 }

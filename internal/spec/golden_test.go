@@ -1,0 +1,235 @@
+package spec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"erms/internal/apps"
+	"erms/internal/parallel"
+	"erms/internal/persist"
+	"erms/internal/workload"
+)
+
+// TestCompileGoldenPatterns pins the compilation contract: a cohort no phase
+// touches and no time scale modifies compiles to the exact workload.Pattern
+// value the equivalent code-built scenario would construct — not a wrapper
+// around it.
+func TestCompileGoldenPatterns(t *testing.T) {
+	src := `
+version: 1
+app:
+  kind: hotel
+run:
+  duration_min: 30
+cohorts:
+  - name: a
+    service: search
+    tier: critical
+    arrival:
+      kind: static
+      rate: 80
+  - name: b
+    service: recommend
+    tier: sheddable
+    arrival:
+      kind: diurnal
+      base: 10
+      peak: 50
+      period_min: 30
+      phase_min: 5
+  - name: c
+    service: reserve
+    tier: batch
+    arrival:
+      kind: trace
+      rates: [5, 10, 15]
+      step_min: 2
+      name: replay
+`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.Pattern{
+		workload.Static{Rate: 80},
+		workload.Diurnal{Base: 10, Peak: 50, PeriodMin: 30, PhaseMin: 5},
+		workload.Trace{Rates: []float64{5, 10, 15}, StepMin: 2, Name: "replay"},
+	}
+	for i, w := range want {
+		if !reflect.DeepEqual(sc.Streams[i].Pattern, w) {
+			t.Errorf("stream %d: compiled pattern %#v, want code-built %#v", i, sc.Streams[i].Pattern, w)
+		}
+	}
+	// A phase on cohort a must wrap only cohort a.
+	s2, err := Parse([]byte(src + "phases:\n  - kind: flash_crowd\n    start_min: 2\n    duration_min: 4\n    factor: 3\n    cohorts: [a]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := s2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(sc2.Streams[0].Pattern, want[0]) {
+		t.Error("phased cohort should not compile to the bare base pattern")
+	}
+	for i := 1; i < 3; i++ {
+		if !reflect.DeepEqual(sc2.Streams[i].Pattern, want[i]) {
+			t.Errorf("stream %d untouched by the phase should stay code-identical", i)
+		}
+	}
+}
+
+// TestCompileGoldenApp pins app construction: the spec-built generated
+// topology is byte-identical (persisted form) to the direct constructor
+// call, at any worker count.
+func TestCompileGoldenApp(t *testing.T) {
+	src := `
+version: 1
+seed: 9
+app:
+  kind: scale
+  services: 12
+  microservices_per_service: 8
+  sharing_degree: 3
+run:
+  duration_min: 5
+cohorts:
+  - name: a
+    service: scale-svc-00000
+    tier: standard
+    arrival:
+      kind: static
+      rate: 10
+`
+	code := apps.ScaleTopology(apps.ScaleConfig{Seed: 9, Services: 12, MicroservicesPerService: 8, SharingDegree: 3})
+	var wantBytes bytes.Buffer
+	if err := persist.SaveApp(&wantBytes, code); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		s, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := s.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := persist.SaveApp(&got, sc.App); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), wantBytes.Bytes()) {
+			t.Fatalf("workers=%d: spec-built app differs from code-built app", workers)
+		}
+	}
+	parallel.SetWorkers(0)
+}
+
+// TestPhaseEnvelope checks the population-dynamics math directly.
+func TestPhaseEnvelope(t *testing.T) {
+	src := `
+version: 1
+app:
+  kind: hotel
+run:
+  duration_min: 40
+cohorts:
+  - name: eu
+    service: search
+    tier: standard
+    arrival:
+      kind: static
+      rate: 100
+  - name: us
+    service: reserve
+    tier: critical
+    arrival:
+      kind: static
+      rate: 50
+phases:
+  - kind: flash_crowd
+    start_min: 10
+    duration_min: 10
+    ramp_min: 2
+    factor: 3
+    cohorts: [eu]
+  - kind: failover
+    start_min: 25
+    duration_min: 10
+    from: eu
+    to: us
+    fraction: 0.5
+`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, us := sc.Streams[0].Pattern, sc.Streams[1].Pattern
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: got %g, want %g", name, got, want)
+		}
+	}
+	check("eu before crowd", eu.RateAt(5), 100)
+	check("eu mid-ramp", eu.RateAt(11), 200)   // halfway up to 3x
+	check("eu crowd peak", eu.RateAt(15), 300) // full 3x
+	check("eu after crowd", eu.RateAt(22), 100)
+	check("eu failover out", eu.RateAt(30), 50) // half shifted away
+	check("us failover in", us.RateAt(30), 100) // 50 base + 50 shifted
+	check("us after", us.RateAt(36), 50)
+}
+
+// TestTimeScaleCompression checks that time_scale maps simulated minutes
+// back onto spec minutes without changing load levels.
+func TestTimeScaleCompression(t *testing.T) {
+	src := `
+version: 1
+time_scale: 2
+app:
+  kind: hotel
+run:
+  duration_min: 20
+cohorts:
+  - name: eu
+    service: search
+    tier: standard
+    arrival:
+      kind: static
+      rate: 100
+phases:
+  - kind: drain
+    start_min: 10
+    duration_min: 10
+    cohorts: [eu]
+`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.DurationMin != 10 {
+		t.Fatalf("sim duration %g, want 10 (20 spec-min / 2)", sc.DurationMin)
+	}
+	p := sc.Streams[0].Pattern
+	if got := p.RateAt(2); got != 100 { // spec minute 4: before the drain
+		t.Errorf("rate before drain = %g, want 100", got)
+	}
+	if got := p.RateAt(8); got != 0 { // spec minute 16: drained
+		t.Errorf("rate in drain = %g, want 0", got)
+	}
+}

@@ -1,0 +1,139 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"erms/internal/parallel"
+)
+
+const runnerYAML = `
+version: 1
+name: runner-test
+seed: 5
+app:
+  kind: hotel
+run:
+  duration_min: 4
+  warmup_min: 0.5
+  window_min: 2
+  hosts: 10
+resilience:
+  timeout_sla_multiple: 4
+  shed: true
+cohorts:
+  - name: web
+    service: search
+    tier: standard
+    arrival:
+      kind: static
+      rate: 120
+  - name: jobs
+    service: recommend
+    tier: batch
+    arrival:
+      kind: static
+      rate: 60
+phases:
+  - kind: flash_crowd
+    start_min: 2
+    duration_min: 2
+    factor: 3
+    cohorts: [web]
+`
+
+func runTimeline(t *testing.T) ([]byte, *RunResult) {
+	t.Helper()
+	s, err := Parse([]byte(runnerYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestRunDeterminism is the spec determinism contract: the same spec and
+// seed produce byte-identical timeline CSVs across repeated runs and across
+// worker counts.
+func TestRunDeterminism(t *testing.T) {
+	first, res := runTimeline(t)
+	if len(res.Timeline) == 0 || len(res.Windows) != 2 {
+		t.Fatalf("expected a populated 2-window run, got %d windows, %d timeline rows",
+			len(res.Windows), len(res.Timeline))
+	}
+	again, _ := runTimeline(t)
+	if !bytes.Equal(first, again) {
+		t.Fatal("same spec, same worker count: timeline CSVs differ")
+	}
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		got, _ := runTimeline(t)
+		parallel.SetWorkers(0)
+		if !bytes.Equal(first, got) {
+			t.Fatalf("workers=%d: timeline CSV differs from default-worker run", workers)
+		}
+	}
+}
+
+// TestRunTimelineShape checks the CSV structure and internal consistency:
+// tier rows sum to the all row, warmup minutes are absent, and issued
+// traffic reflects the flash crowd.
+func TestRunTimelineShape(t *testing.T) {
+	csv, res := runTimeline(t)
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if lines[0] != timelineHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 4 sim minutes, minute 0 inside warmup → 3 reported minutes × (2 tiers
+	// + all).
+	if want := 1 + 3*3; len(lines) != want {
+		t.Fatalf("got %d CSV lines, want %d:\n%s", len(lines), want, csv)
+	}
+	for _, p := range res.Timeline {
+		if p.Minute == 0 {
+			t.Error("warmup minute 0 must not be reported")
+		}
+	}
+	// Per-minute tier rows must sum to the all row.
+	perMinute := map[int]int{}
+	for _, p := range res.Timeline {
+		if p.All {
+			perMinute[p.Minute] -= p.Issued
+		} else {
+			perMinute[p.Minute] += p.Issued
+		}
+	}
+	for m, diff := range perMinute {
+		if diff != 0 {
+			t.Errorf("minute %d: tier rows do not sum to the all row (diff %d)", m, diff)
+		}
+	}
+	// The crowd triples web traffic in minutes [2, 4): offered load in the
+	// timeline must show it.
+	var offBefore, offDuring float64
+	for _, p := range res.Timeline {
+		if p.All {
+			switch p.Minute {
+			case 1:
+				offBefore = p.Offered
+			case 3:
+				offDuring = p.Offered
+			}
+		}
+	}
+	if !(offDuring > offBefore*1.5) {
+		t.Errorf("flash crowd not visible: offered %g before vs %g during", offBefore, offDuring)
+	}
+}

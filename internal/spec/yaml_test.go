@@ -1,0 +1,97 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLBasics(t *testing.T) {
+	src := `
+# comment
+version: 1
+name: "quoted name"   # trailing comment
+seed: 18446744073709551615
+scale: 1.5
+on: true
+off: false
+empty:
+nested:
+  a: 1
+  b:
+    c: two
+list:
+  - 1
+  - two
+  - - 3
+inline: [1, 2.5, "x, y"]
+items:
+- name: a
+  v: 1
+- name: b
+`
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"version": int64(1),
+		"name":    "quoted name",
+		"seed":    uint64(18446744073709551615),
+		"scale":   1.5,
+		"on":      true,
+		"off":     false,
+		"empty":   nil,
+		"nested":  map[string]any{"a": int64(1), "b": map[string]any{"c": "two"}},
+		"list":    []any{int64(1), "two", []any{int64(3)}},
+		"inline":  []any{int64(1), 2.5, "x, y"},
+		"items": []any{
+			map[string]any{"name": "a", "v": int64(1)},
+			map[string]any{"name": "b"},
+		},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("parsed tree mismatch:\n got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tab in indentation"},
+		{"flow map", "a: {b: 1}", "flow mappings"},
+		{"anchor", "a: &x 1", "anchors"},
+		{"block scalar", "a: |\n  text", "block scalars"},
+		{"multi doc", "a: 1\n---\nb: 2", "multi-document"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"unterminated quote", `a: "open`, "unterminated"},
+		{"trailing after quote", `a: "x"y`, "trailing content"},
+		{"mixed seq map", "- a\nb: 1", "not part of the preceding block"},
+		{"dangling indent", "a: 1\n    b: 2", "not part of the preceding block"},
+		{"unclosed flow", "a: [1, 2", "one line"},
+		{"directive", "%YAML 1.2\na: 1", "directives"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(c.src))
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestYAMLSeqUnderKeySameIndent(t *testing.T) {
+	v, err := parseYAML([]byte("xs:\n- 1\n- 2\nys:\n- 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"xs": []any{int64(1), int64(2)}, "ys": []any{int64(3)}}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v, want %#v", v, want)
+	}
+}

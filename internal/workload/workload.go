@@ -87,6 +87,67 @@ func (s SLA) Classify(latencyMs float64, failed bool) Outcome {
 	}
 }
 
+// Tier is the SLO tier of a client cohort: how much the platform is willing
+// to sacrifice this traffic when capacity runs short. Admission control sheds
+// the lower tiers (batch first, then sheddable) before touching standard
+// traffic, and touches critical traffic last of all.
+type Tier int
+
+// SLO tiers, ordered from most to least protected.
+const (
+	// TierCritical: revenue/safety traffic; shed only when nothing else is
+	// left to shed.
+	TierCritical Tier = iota
+	// TierStandard: the default tier; historical behaviour is unchanged for
+	// standard traffic.
+	TierStandard
+	// TierSheddable: best-effort interactive traffic; preferred shedding
+	// victim ahead of standard.
+	TierSheddable
+	// TierBatch: offline/bulk traffic; first to go under pressure.
+	TierBatch
+
+	// NumTiers is the number of SLO tiers (for per-tier accumulator arrays).
+	NumTiers = 4
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierCritical:
+		return "critical"
+	case TierStandard:
+		return "standard"
+	case TierSheddable:
+		return "sheddable"
+	case TierBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the defined tiers.
+func (t Tier) Valid() bool { return t >= TierCritical && t <= TierBatch }
+
+// ParseTier maps a tier name to its Tier.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "critical":
+		return TierCritical, nil
+	case "standard":
+		return TierStandard, nil
+	case "sheddable":
+		return TierSheddable, nil
+	case "batch":
+		return TierBatch, nil
+	}
+	return 0, fmt.Errorf("workload: unknown SLO tier %q (want critical, standard, sheddable, or batch)", s)
+}
+
+// Tiers lists the tiers in protection order (critical first).
+func Tiers() []Tier { return []Tier{TierCritical, TierStandard, TierSheddable, TierBatch} }
+
 // Pattern yields the offered load of one service as a function of time.
 type Pattern interface {
 	// RateAt returns the arrival rate in requests per minute at time t

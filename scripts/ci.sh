@@ -50,6 +50,38 @@ go test -count=1 \
 	-run 'TestFigScaleDeterministicAcrossWorkers|TestFigShardDeterministicAcrossWorkers|TestPlanSchemeByteIdenticalAcrossWorkers|TestPlanSchemeCachedBitIdentical|TestIncremental' \
 	./internal/experiments ./internal/multiplex
 
+# The spec front-end gates (PR 7).
+#
+# First, a short fuzz pass over the workload-spec parser: malformed YAML and
+# JSON must produce errors, never panics, and any accepted spec must
+# re-validate cleanly. The corpus seeds cover the shipped example specs.
+echo "== spec parser fuzz (15s) =="
+go test -run=NONE -fuzz=FuzzParse -fuzztime=15s ./internal/spec
+
+# Second, the spec determinism gate, end to end through the real binary:
+# the same spec and seed must emit a byte-identical timeline CSV across two
+# runs and two worker-pool sizes. This is the whole-pipeline version of
+# internal/spec's TestRunDeterminism — it also covers the CLI wiring.
+echo "== spec determinism (ermsctl, 2 runs x workers 1 vs 4) =="
+go build -o /tmp/ermsctl_ci ./cmd/ermsctl
+/tmp/ermsctl_ci run -spec examples/quickstart/quickstart.yaml \
+	-parallel 1 -timeline /tmp/spec_tl_a.csv >/dev/null
+/tmp/ermsctl_ci run -spec examples/quickstart/quickstart.yaml \
+	-parallel 1 -timeline /tmp/spec_tl_b.csv >/dev/null
+/tmp/ermsctl_ci run -spec examples/quickstart/quickstart.yaml \
+	-parallel 4 -timeline /tmp/spec_tl_c.csv >/dev/null
+cmp /tmp/spec_tl_a.csv /tmp/spec_tl_b.csv
+cmp /tmp/spec_tl_a.csv /tmp/spec_tl_c.csv
+rm -f /tmp/ermsctl_ci /tmp/spec_tl_a.csv /tmp/spec_tl_b.csv /tmp/spec_tl_c.csv
+
+# Third, the SLO-tier contract: under the flash-crowd spec the sheddable
+# tier's violation rate must be at least the critical tier's, and admission
+# control must shed more sheddable than critical traffic. Also re-pins the
+# spec-built-vs-code-built golden equality at two worker counts.
+echo "== spec tier contract + golden equality =="
+go test -count=1 -run 'TestFigSpecTierContract|TestCompileGolden|TestRunDeterminism' \
+	./internal/experiments ./internal/spec
+
 # One-iteration smoke of the planner benchmarks: catches bit-rot in the
 # bench harnesses and the BENCH_{5,6}.json folds without paying full
 # benchtime.
