@@ -69,6 +69,10 @@ func main() {
 		chaosWin   = flag.Int("chaos-windows", 8, "scaling windows for -chaos (each -minutes long)")
 		chaosNaive = flag.Bool("chaos-naive", false, "disable resilience for -chaos: no retry, no degraded mode, no replacement scheduling")
 
+		driftOn   = flag.Bool("drift", false, "with -chaos: enable the online profiling drift loop (detect model drift from live samples, re-fit, hot-swap); windows must span >= 2 minutes to carry samples")
+		driftThr  = flag.Float64("drift-threshold", 0.75, "with -drift: relative deviation of observed from predicted tail latency that counts as drift")
+		driftCons = flag.Int("drift-consecutive", 2, "with -drift: consecutive drifted windows before a re-fit fires (hysteresis)")
+
 		obsAddr = flag.String("obs-addr", "", "serve control-plane self-observability on this address (Prometheus /metrics, JSON /spans, /debug/pprof); the process stays up after the run until interrupted")
 
 		resOn      = flag.Bool("resilience", false, "enable the data-plane fault model in evaluations: deadline propagation, timeouts, crash failure semantics")
@@ -226,8 +230,18 @@ func main() {
 			Shed:               *resShed,
 		}
 	}
-	sys, err := erms.NewSystem(app, erms.WithHosts(*hosts), erms.WithScheme(sch),
-		erms.WithResilience(res), erms.WithPlanShards(*shards))
+	if (*driftOn || flagWasSet("drift-threshold") || flagWasSet("drift-consecutive")) && !*doChaos {
+		log.Fatal("-drift* flags only apply to -chaos runs; add -chaos or drop them")
+	}
+	sysOpts := []erms.Option{erms.WithHosts(*hosts), erms.WithScheme(sch),
+		erms.WithResilience(res), erms.WithPlanShards(*shards)}
+	if *driftOn {
+		sysOpts = append(sysOpts, erms.WithDriftDetection(erms.DriftConfig{
+			Threshold:   *driftThr,
+			Consecutive: *driftCons,
+		}))
+	}
+	sys, err := erms.NewSystem(app, sysOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -480,9 +494,17 @@ func runChaosLoop(sys *erms.System, app *erms.App, rates map[string]float64,
 		if rep.ObsGap {
 			flags = append(flags, "obs-gap")
 		}
+		if rep.ModelSwaps > 0 {
+			flags = append(flags, fmt.Sprintf("swapped:%d", rep.ModelSwaps))
+		}
 		fmt.Printf("%-4d %-28s %10d %8d %7d %7.3f  %s\n",
 			w, sched.Summary(w), rep.Containers, rep.Repaired, rep.Retries, worst,
 			strings.Join(flags, ","))
+	}
+	if ctrl.Drift != nil {
+		st := ctrl.Drift.Stats()
+		fmt.Printf("\ndrift loop: %d windows scored, %d detections, %d swaps (%d segmented re-fits, %d recalibrations), max score %.2f\n",
+			st.Windows, st.Detections, st.Swaps, st.Refits, st.Fallbacks, st.MaxScore)
 	}
 }
 
@@ -503,6 +525,7 @@ var specConflicts = []string{
 	"app", "services", "rate", "rates", "scheme", "hosts", "seed", "minutes",
 	"plan", "evaluate", "profile", "dot", "save-plan", "save-app", "load-app",
 	"chaos", "chaos-windows", "chaos-naive", "plan-windows", "dirty-frac",
+	"drift", "drift-threshold", "drift-consecutive",
 	"resilience", "timeout-sla", "attempt-timeout", "retries", "retry-budget",
 	"breaker", "shed",
 }

@@ -27,6 +27,7 @@ import (
 	"erms/internal/apps"
 	"erms/internal/cluster"
 	"erms/internal/core"
+	"erms/internal/drift"
 	"erms/internal/kube"
 	"erms/internal/multiplex"
 	"erms/internal/obs"
@@ -109,6 +110,7 @@ type config struct {
 	resilience    *Resilience
 	planShards    int
 	noIncremental bool
+	driftCfg      *DriftConfig
 }
 
 // WithHosts sets the cluster size (default 20, the paper's testbed).
@@ -142,6 +144,18 @@ func WithPlanShards(n int) Option { return func(c *config) { c.planShards = n } 
 // way; this exists for benchmarking and as an escape hatch.
 func WithoutIncrementalPlanning() Option { return func(c *config) { c.noIncremental = true } }
 
+// DriftConfig tunes the online profiling drift detector (see package drift;
+// the zero value applies documented defaults).
+type DriftConfig = drift.Config
+
+// WithDriftDetection enables the online profiling drift loop: every
+// reconciliation window the live latency samples are scored against the
+// current models, and a microservice whose observations stay past the
+// threshold for consecutive windows gets its model re-fitted and swapped
+// in. Off by default; windows must span at least two whole minutes for the
+// detector to see any samples.
+func WithDriftDetection(cfg DriftConfig) Option { return func(c *config) { c.driftCfg = &cfg } }
+
 // NewSystem creates an Erms system managing the application on a fresh
 // simulated cluster with interference-aware provisioning.
 func NewSystem(app *App, opts ...Option) (*System, error) {
@@ -166,6 +180,9 @@ func NewSystem(app *App, opts ...Option) (*System, error) {
 	}
 	if cfg.noIncremental {
 		coreOpts = append(coreOpts, core.WithoutIncrementalPlanning())
+	}
+	if cfg.driftCfg != nil {
+		coreOpts = append(coreOpts, core.WithDriftDetection(*cfg.driftCfg))
 	}
 	ctrl, err := core.New(app, orch, coreOpts...)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"erms/internal/apps"
 	"erms/internal/cluster"
+	"erms/internal/drift"
 	"erms/internal/kube"
 	"erms/internal/metrics"
 	"erms/internal/multiplex"
@@ -62,6 +63,22 @@ func WithResilience(r *sim.Resilience) Option {
 	return func(c *Controller) { c.Resilience = r }
 }
 
+// WithDriftDetection enables the online profiling drift loop: every
+// reconciliation window the live per-microservice latency samples are
+// scored against the current models, and a microservice whose observations
+// stay past the configured threshold for the configured number of
+// consecutive windows gets its model re-fitted from those live samples and
+// swapped in (see package drift). Off by default — without this option the
+// controller plans against frozen models exactly as before, byte for byte.
+//
+// Live samples are per-minute aggregates recorded after warmup, so the
+// reconciler's window must span at least two whole minutes (WindowMin >= 2
+// with WarmupMin < 1) for the detector to see any signal; shorter windows
+// are all no-signal and the detector never fires.
+func WithDriftDetection(cfg drift.Config) Option {
+	return func(c *Controller) { c.Drift = drift.NewDetector(cfg) }
+}
+
 // WithoutPlanTemplates disables the compiled-plan-template cache, forcing
 // every window through the naive scaling path. Output is bit-identical
 // either way; this exists for benchmarking the naive path and as an escape
@@ -109,6 +126,13 @@ type Controller struct {
 
 	// Models holds the per-microservice latency model used for scaling.
 	Models map[string]profiling.Model
+	// Drift, when non-nil (WithDriftDetection), is the streaming detector
+	// that compares each evaluation window's observed latency against Models
+	// and re-fits/swaps a model that has drifted past threshold for enough
+	// consecutive windows. The swap is an ordinary map write of a fresh
+	// immutable model — the template cache's parameter-hash contract turns
+	// it into a precise single-service invalidation.
+	Drift *drift.Detector
 
 	// Scheme is the shared-microservice handling (priority by default;
 	// SchemeFCFS yields the Latency-Target-Computation-only ablation of
@@ -192,6 +216,33 @@ func (c *Controller) UseAnalyticModels() {
 		threads[ms] = spec.Threads
 	}
 	c.Models = profiling.AnalyticModels(c.App.Profiles, threads, c.Interference)
+}
+
+// ObserveDrift feeds one evaluation window's simulation result to the drift
+// detector and installs whatever model swaps it decided on. It returns the
+// swaps (nil when drift detection is disabled, the result carries no
+// samples, or nothing drifted). The per-minute samples of res are exactly
+// the (L, γ, C, M) tuples offline profiling consumes, so the detector
+// compares like with like; minutes dropped by observability gaps are simply
+// absent and count as no-signal windows.
+func (c *Controller) ObserveDrift(res *sim.Result) []drift.Swap {
+	if c.Drift == nil || res == nil {
+		return nil
+	}
+	swaps := c.Drift.ObserveWindow(c.Models, profiling.FromMinuteSamples(res.Samples))
+	for _, sw := range swaps {
+		c.Models[sw.Microservice] = sw.Model
+	}
+	if c.Obs != nil {
+		st := c.Drift.Stats()
+		c.Obs.Set(obs.CtrDriftWindows, float64(st.Windows))
+		c.Obs.Set(obs.CtrDriftDetections, float64(st.Detections))
+		c.Obs.Set(obs.CtrDriftRefits, float64(st.Refits))
+		c.Obs.Set(obs.CtrDriftFallbacks, float64(st.Fallbacks))
+		c.Obs.Set(obs.CtrModelSwaps, float64(st.Swaps))
+		c.Obs.SetMax(obs.GaugeDriftScore, st.MaxScore)
+	}
+	return swaps
 }
 
 // Loads returns loads[svc][ms]: the calls/minute service svc imposes on

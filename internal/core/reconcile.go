@@ -113,6 +113,10 @@ type WindowReport struct {
 	Repaired int
 	// Retries counts failed plan/apply attempts that were retried.
 	Retries int
+	// ModelSwaps counts latency models the drift loop re-fitted and swapped
+	// after this window's evaluation (0 unless the controller runs with
+	// WithDriftDetection). A swap takes effect at the next window's plan.
+	ModelSwaps int
 	// BackoffMin is the simulated time spent backing off between retries.
 	BackoffMin float64
 	// Degraded marks a window that ran on the last good plan because
@@ -396,6 +400,11 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 	if r.C.Resilience != nil {
 		report.ErrorRate = res.ErrorRate
 	}
+	// Online drift loop: score this window's live samples against the
+	// models the plan was computed from, re-fit and swap whatever drifted.
+	// Swapped models take effect at the next window's plan; the template
+	// cache treats each swap as a single-service invalidation.
+	report.ModelSwaps = len(r.C.ObserveDrift(res.Sim))
 	r.finishWindow(&report)
 	r.history = append(r.history, report)
 	return &report, nil

@@ -20,6 +20,8 @@ var allCounterNames = []string{
 	CtrPlans, CtrApplies, CtrApplyRollbacks,
 	CtrPlanTemplateHits, CtrPlanTemplateCompiles, CtrPlanTemplateInvalidations,
 	CtrPlanSkipped, CtrPlanDirty, CtrPlanShards,
+	CtrDriftWindows, CtrDriftDetections, CtrDriftRefits, CtrDriftFallbacks,
+	CtrModelSwaps, GaugeDriftScore,
 	CtrSimEvents, CtrSimJobsAlloc, CtrSimJobsRecycled, GaugeSimHeapPeak,
 	CtrDataAttempts, CtrDataTimeouts, CtrDataRetries,
 	CtrDataRetryBudgetExhausted, CtrDataBreakerOpens,
@@ -79,6 +81,12 @@ func TestAllCountersExportOnMetrics(t *testing.T) {
 		"erms_self_plan_template_hits_total",
 		"erms_self_plan_template_compiles_total",
 		"erms_self_plan_template_invalidations_total",
+		"erms_self_drift_windows_total",
+		"erms_self_drift_detected_total",
+		"erms_self_drift_refits_total",
+		"erms_self_drift_refit_fallbacks_total",
+		"erms_self_model_swaps_total",
+		"erms_self_drift_score_max",
 	} {
 		if !strings.Contains(body, want+" ") {
 			t.Errorf("/metrics missing documented series %q", want)

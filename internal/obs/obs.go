@@ -74,6 +74,15 @@ const (
 	CtrPlanDirty   = "erms.self.plan_dirty_total"
 	CtrPlanShards  = "erms.self.plan_shards_total"
 
+	// Online drift loop (cumulative detector totals; the detector reports
+	// running counters, so these are Set rather than Add).
+	CtrDriftWindows    = "erms.self.drift_windows_total"
+	CtrDriftDetections = "erms.self.drift_detected_total"
+	CtrDriftRefits     = "erms.self.drift_refits_total"
+	CtrDriftFallbacks  = "erms.self.drift_refit_fallbacks_total"
+	CtrModelSwaps      = "erms.self.model_swaps_total"
+	GaugeDriftScore    = "erms.self.drift_score_max" // gauge: worst drift score seen
+
 	// Simulation engine (accumulated across evaluation windows).
 	CtrSimEvents       = "erms.self.sim_events_total"
 	CtrSimJobsAlloc    = "erms.self.sim_jobs_allocated_total"

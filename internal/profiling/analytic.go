@@ -76,10 +76,24 @@ func (a *Analytic) Saturation(cpuUtil, memUtil float64) float64 {
 	return float64(a.Threads) * 60_000 / a.serviceTime(cpuUtil, memUtil)
 }
 
+// minKnee floors the knee at one call per thousand minutes. Under extreme
+// interference (or an absurd service time) Saturation tends to 0, and an
+// unfloored knee of 0 would drive the Params slope (KneeFactor-1)·l0/knee to
+// +Inf — and NaN once l0 is also degenerate — which poisons every Eq. 5
+// closed form downstream. The floor keeps the slope finite while still
+// describing a container that saturates essentially immediately.
+const minKnee = 1e-3
+
 // Knee returns σ = ρ_knee · saturation: interference shrinks capacity,
-// moving the knee earlier, as in Fig. 3.
+// moving the knee earlier, as in Fig. 3. The result is floored at minKnee so
+// a fully saturated regime yields a steep-but-finite linearization instead
+// of an Inf/NaN slope.
 func (a *Analytic) Knee(cpuUtil, memUtil float64) float64 {
-	return a.RhoKnee * a.Saturation(cpuUtil, memUtil)
+	k := a.RhoKnee * a.Saturation(cpuUtil, memUtil)
+	if !(k > minKnee) { // catches NaN as well as small and zero values
+		return minKnee
+	}
+	return k
 }
 
 // capRatio mirrors scaling.DomainCapRatio: how far past the knee the high

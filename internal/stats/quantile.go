@@ -8,7 +8,11 @@ import (
 // Quantile returns the q-quantile (0 <= q <= 1) of the values using linear
 // interpolation between order statistics (the same convention as numpy's
 // default). It returns NaN for an empty input. The input slice is not
-// modified.
+// modified. Inputs must be NaN-free: NaN elements void sort.Float64s'
+// ordering guarantee, so the interpolated order statistics (and anything
+// downstream, e.g. Reservoir.Quantile) become unspecified. Producers of
+// latency samples never emit NaN; callers synthesizing values should filter
+// first (as CDF does).
 func Quantile(values []float64, q float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()
@@ -129,6 +133,33 @@ func (m *Moments) Add(x float64) {
 	m.m2 += delta * (x - m.mean)
 }
 
+// Merge folds another accumulator into m, as if every observation offered to
+// o had been offered to m (Chan et al.'s pairwise update). This is the
+// window-merge primitive of the drift loop: per-window moments accumulate
+// independently and merge into streak- or run-level moments without
+// revisiting samples. Merging an empty accumulator is a no-op.
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	na, nb := float64(m.n), float64(o.n)
+	delta := o.mean - m.mean
+	m.m2 += o.m2 + delta*delta*na*nb/float64(n)
+	m.mean += delta * nb / float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n = n
+}
+
 // Count returns the number of observations.
 func (m *Moments) Count() int { return m.n }
 
@@ -211,9 +242,24 @@ func (rv *Reservoir) Values() []float64 {
 
 // CDF returns the empirical cumulative distribution of values evaluated at
 // each of the given thresholds: out[i] = fraction of values <= thresholds[i].
+//
+// NaN elements carry no ordering information (they break sort.Float64s'
+// sorted-output guarantee, and with it SearchFloat64s) and are dropped
+// before the distribution is built. When no finite-ordered values remain —
+// empty input, or all NaN — there is no distribution to evaluate and CDF
+// returns nil, mirroring Quantile's documented NaN-on-empty contract
+// (previously this divided by len(sorted)==0 and silently produced an
+// all-NaN slice).
 func CDF(values, thresholds []float64) []float64 {
-	sorted := make([]float64, len(values))
-	copy(sorted, values)
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
 	sort.Float64s(sorted)
 	out := make([]float64, len(thresholds))
 	for i, t := range thresholds {

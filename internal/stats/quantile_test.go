@@ -177,3 +177,100 @@ func TestCDF(t *testing.T) {
 		}
 	}
 }
+
+func TestCDFEmptyAndAllNaN(t *testing.T) {
+	// No values means no distribution: nil, not a division by zero
+	// producing an all-NaN slice.
+	if got := CDF(nil, []float64{1, 2}); got != nil {
+		t.Fatalf("CDF(nil) = %v, want nil", got)
+	}
+	nan := math.NaN()
+	if got := CDF([]float64{nan, nan}, []float64{1}); got != nil {
+		t.Fatalf("CDF(all NaN) = %v, want nil", got)
+	}
+}
+
+func TestCDFFiltersNaN(t *testing.T) {
+	// NaN elements void sort's ordering guarantee and must be dropped
+	// before the search; the distribution is over the 4 finite values.
+	values := []float64{1, math.NaN(), 2, 3, math.NaN(), 4}
+	got := CDF(values, []float64{0, 2, 4})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMomentsMergeMatchesBulk(t *testing.T) {
+	// Merging per-window accumulators must equal one accumulator fed every
+	// observation — the drift loop's window-merge contract.
+	r := NewRNG(41)
+	var bulk Moments
+	var merged Moments
+	for w := 0; w < 7; w++ {
+		var win Moments
+		n := 1 + r.Intn(400)
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*float64(w+1) + 5*float64(w)
+			bulk.Add(x)
+			win.Add(x)
+		}
+		merged.Merge(win)
+	}
+	if merged.Count() != bulk.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), bulk.Count())
+	}
+	if math.Abs(merged.Mean()-bulk.Mean()) > 1e-9 {
+		t.Fatalf("mean %v != %v", merged.Mean(), bulk.Mean())
+	}
+	if math.Abs(merged.Variance()-bulk.Variance()) > 1e-7 {
+		t.Fatalf("variance %v != %v", merged.Variance(), bulk.Variance())
+	}
+	if merged.Min() != bulk.Min() || merged.Max() != bulk.Max() {
+		t.Fatal("min/max mismatch after merge")
+	}
+}
+
+func TestMomentsMergeEdgeCases(t *testing.T) {
+	var a Moments
+	a.Add(2)
+	a.Add(4)
+	// Merging empty is a no-op.
+	a.Merge(Moments{})
+	if a.Count() != 2 || a.Mean() != 3 {
+		t.Fatalf("after empty merge: n=%d mean=%v", a.Count(), a.Mean())
+	}
+	// Merging into empty copies the argument.
+	var b Moments
+	b.Merge(a)
+	if b.Count() != 2 || b.Mean() != 3 || b.Min() != 2 || b.Max() != 4 {
+		t.Fatalf("merge into empty: %+v", b)
+	}
+}
+
+func TestReservoirWindowedFillDeterministic(t *testing.T) {
+	// Feeding the same stream in one pass or in window-sized chunks hits
+	// the identical reservoir state (Add is sequential over one RNG), and
+	// the sample never exceeds capacity.
+	fill := func(chunks int) []float64 {
+		rv := NewReservoir(64, NewRNG(9))
+		per := 1000 / chunks
+		for c := 0; c < chunks; c++ {
+			for i := 0; i < per; i++ {
+				rv.Add(float64(c*per + i))
+			}
+		}
+		if len(rv.Values()) > 64 {
+			t.Fatalf("reservoir overflowed: %d", len(rv.Values()))
+		}
+		return rv.Values()
+	}
+	one, four := fill(1), fill(4)
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("windowed fill diverged at %d: %v vs %v", i, one[i], four[i])
+		}
+	}
+}

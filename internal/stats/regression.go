@@ -209,7 +209,10 @@ func (f SegmentedFit) Predict(x float64) float64 {
 // and returns the two-piece linear fit minimizing total squared error. Each
 // segment must contain at least minSeg points (minSeg < 2 is treated as 2).
 // If no valid breakpoint exists, the single best line is returned with
-// Knee = +Inf.
+// Knee = +Inf. When no line fits at all — degenerate input such as all x
+// values equal, where FitLine is singular on the whole range and on every
+// candidate split — FitSegmented returns ErrSingular rather than a silent
+// zero-value model (whose Predict would be identically 0).
 func FitSegmented(xs, ys []float64, minSeg int) (SegmentedFit, error) {
 	if len(xs) != len(ys) {
 		return SegmentedFit{}, errors.New("stats: FitSegmented length mismatch")
@@ -269,12 +272,18 @@ func FitSegmented(xs, ys []float64, minSeg int) (SegmentedFit, error) {
 			}
 		}
 	}
+	if math.IsInf(best.SSE, 1) {
+		return SegmentedFit{}, ErrSingular
+	}
 	return best, nil
 }
 
 // Accuracy returns the mean prediction accuracy 1 - |pred-actual|/actual,
 // clamped to [0, 1], averaged over all pairs with actual > 0. This matches
 // the paper's "testing accuracy" notion for latency profiling (Fig. 10).
+// When no pair has actual > 0 (empty input, or every actual nonpositive)
+// there is no defined relative error and the result is NaN — callers that
+// feed live window data must treat NaN as "no signal", not as 0% accurate.
 func Accuracy(predicted, actual []float64) float64 {
 	if len(predicted) != len(actual) || len(predicted) == 0 {
 		return math.NaN()

@@ -189,6 +189,46 @@ func TestFitSegmentedSSENotWorseThanSingleLine(t *testing.T) {
 	}
 }
 
+func TestFitSegmentedDegenerateInput(t *testing.T) {
+	// All x equal: every candidate split and the single-line fallback are
+	// singular, so no fit exists. This used to return a zero-value
+	// SegmentedFit with a nil error — a "model" predicting 0 ms everywhere
+	// that downstream accuracy checks scored as grossly wrong instead of
+	// absent.
+	xs := []float64{5, 5, 5, 5, 5, 5}
+	ys := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := FitSegmented(xs, ys, 2); err != ErrSingular {
+		t.Fatalf("degenerate fit error = %v, want ErrSingular", err)
+	}
+	// Same shape via the no-valid-split path: too few points for any split
+	// AND constant x, so the single-line fallback is singular too.
+	if _, err := FitSegmented([]float64{3, 3, 3}, []float64{1, 2, 3}, 2); err != ErrSingular {
+		t.Fatal("expected ErrSingular for short constant-x input")
+	}
+}
+
+func TestFitSegmentedStillFitsNearDegenerate(t *testing.T) {
+	// Two distinct x values is enough for the single-line fallback: the
+	// degenerate guard must not over-reject.
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{3, 3, 5, 5}
+	f, err := FitSegmented(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Predict(3)-7) > 1e-9 {
+		t.Fatalf("predict(3) = %v, want 7", f.Predict(3))
+	}
+}
+
+func TestAccuracyAllNonpositiveActuals(t *testing.T) {
+	// Every actual <= 0 is skipped, so there is no signal; the result is
+	// NaN (same contract as empty input), not a spurious 0 or 1.
+	if !math.IsNaN(Accuracy([]float64{5, 6}, []float64{0, -1})) {
+		t.Fatal("all-nonpositive actuals should yield NaN accuracy")
+	}
+}
+
 func TestAccuracy(t *testing.T) {
 	if got := Accuracy([]float64{10, 20}, []float64{10, 20}); got != 1 {
 		t.Fatalf("perfect accuracy = %v", got)

@@ -82,6 +82,21 @@ echo "== spec tier contract + golden equality =="
 go test -count=1 -run 'TestFigSpecTierContract|TestCompileGolden|TestRunDeterminism' \
 	./internal/experiments ./internal/spec
 
+# The drift-loop gates (PR 8).
+#
+# TestFigDrift is the determinism + reconvergence gate: the figDrift table
+# (mid-run 3x service-time shift of a shared microservice) must be
+# byte-identical at one worker and four, the drift-enabled controller must
+# reconverge after the shift, and the frozen controller must not.
+# TestDriftDisabledPathIdentical pins that a controller without drift
+# detection — and one whose detector can never fire — produce identical
+# window reports (drift off is a pure observer). The obs export test is the
+# counter-name contract for the new erms.self.drift_* / model_swaps series.
+echo "== drift loop (figDrift determinism + disabled-path identity + counter export) =="
+go test -count=1 \
+	-run 'TestFigDrift|TestDriftDisabledPathIdentical|TestDriftSwapInstallsModelAndInvalidatesTemplate|TestAllCountersExportOnMetrics' \
+	./internal/experiments ./internal/core ./internal/obs
+
 # One-iteration smoke of the planner benchmarks: catches bit-rot in the
 # bench harnesses and the BENCH_{5,6}.json folds without paying full
 # benchtime.
