@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -62,8 +63,8 @@ func main() {
 		planWin   = flag.Int("plan-windows", 0, "drive N planning windows, perturbing a fraction of services each window, and report per-window latency and skip/replan counters")
 		dirtyFrac = flag.Float64("dirty-frac", 0.1, "with -plan-windows: fraction of services whose rates change every window")
 
-	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (view with `go tool pprof`)")
-	memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (view with `go tool pprof`)")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 
 		doChaos    = flag.Bool("chaos", false, "run the control loop under a seeded fault schedule and print per-window reports")
 		chaosWin   = flag.Int("chaos-windows", 8, "scaling windows for -chaos (each -minutes long)")
@@ -88,7 +89,13 @@ func main() {
 	)
 	// Accept an optional leading "run" subcommand (ermsctl run -spec ...);
 	// flag parsing stops at the first non-flag argument, so strip it first.
+	// "operate" dispatches to the long-running operator daemon, which has its
+	// own flag set.
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "operate" {
+		cmdOperate(args[1:])
+		return
+	}
 	if len(args) > 0 && args[0] == "run" {
 		args = args[1:]
 	}
@@ -247,13 +254,20 @@ func main() {
 	}
 	if *obsAddr != "" {
 		rec := sys.EnableObservability()
+		// Bind synchronously: a busy port or bad address must fail the
+		// process now with a nonzero exit, not die silently inside a
+		// goroutine while the run proceeds unobserved.
+		srv := obs.NewServer(*obsAddr, rec.Handler())
+		if err := srv.Listen(); err != nil {
+			log.Fatal(err)
+		}
 		go func() {
-			if err := rec.ListenAndServe(*obsAddr); err != nil {
+			if err := srv.Serve(); err != nil {
 				log.Fatalf("obs endpoint: %v", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "self-observability on http://%s (/metrics, /spans, /debug/pprof)\n", *obsAddr)
-		defer holdForScrape(*obsAddr)
+		fmt.Fprintf(os.Stderr, "self-observability on http://%s (/metrics, /spans, /debug/pprof)\n", srv.Addr())
+		defer holdForScrape(srv)
 	}
 	if *doProf {
 		fmt.Fprintln(os.Stderr, "profiling offline (simulated sweeps)...")
@@ -368,12 +382,18 @@ func main() {
 }
 
 // holdForScrape keeps the process alive after the run so the -obs-addr
-// endpoints remain scrapeable; Ctrl-C (or SIGTERM) exits.
-func holdForScrape(addr string) {
-	fmt.Fprintf(os.Stderr, "run complete; holding http://%s open for scraping (Ctrl-C to exit)\n", addr)
+// endpoints remain scrapeable; Ctrl-C (or SIGTERM) drains in-flight scrapes
+// and exits.
+func holdForScrape(srv *obs.Server) {
+	fmt.Fprintf(os.Stderr, "run complete; holding http://%s open for scraping (Ctrl-C to exit)\n", srv.Addr())
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("obs shutdown: %v", err)
+	}
 }
 
 // runPlanWindows drives the controller's incremental planner window by
@@ -563,14 +583,21 @@ func runSpec(path, timelinePath, obsAddr string, shards int) {
 	}
 	sc.PlanShards = shards
 	var rec *obs.Recorder
+	var srv *obs.Server
 	if obsAddr != "" {
 		rec = obs.New(nil)
+		srv = obs.NewServer(obsAddr, rec.Handler())
+		// Synchronous bind: fail the run now with a nonzero exit instead of
+		// letting the listener goroutine die unnoticed.
+		if err := srv.Listen(); err != nil {
+			log.Fatal(err)
+		}
 		go func() {
-			if err := rec.ListenAndServe(obsAddr); err != nil {
+			if err := srv.Serve(); err != nil {
 				log.Fatalf("obs endpoint: %v", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "self-observability on http://%s (/metrics, /spans, /debug/pprof)\n", obsAddr)
+		fmt.Fprintf(os.Stderr, "self-observability on http://%s (/metrics, /spans, /debug/pprof)\n", srv.Addr())
 	}
 	start := time.Now()
 	res, err := sc.Run(rec)
@@ -592,7 +619,7 @@ func runSpec(path, timelinePath, obsAddr string, shards int) {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", timelinePath)
 	}
-	if obsAddr != "" {
-		holdForScrape(obsAddr)
+	if srv != nil {
+		holdForScrape(srv)
 	}
 }

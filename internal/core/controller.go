@@ -543,7 +543,16 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		out.ErrorRate = make(map[string]float64)
 	}
 	errors := 0
-	for svc, sr := range res.PerService {
+	// Fold in sorted service order: Goodput is a float sum, and float
+	// addition is not associative, so map-range order would make two
+	// identical evaluations differ in the last ulp.
+	perSvc := make([]string, 0, len(res.PerService))
+	for svc := range res.PerService {
+		perSvc = append(perSvc, svc)
+	}
+	sort.Strings(perSvc)
+	for _, svc := range perSvc {
+		sr := res.PerService[svc]
 		out.Violations[svc] = sr.ViolationRate()
 		out.TailLatency[svc] = sr.P95()
 		errors += sr.Errors

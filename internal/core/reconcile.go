@@ -64,6 +64,12 @@ type Reconciler struct {
 	// the simulation, and observability gaps. Implemented by chaos.Injector.
 	Chaos ChaosHook
 
+	// StreamsFor, when non-nil, supplies per-window cohort streams for the
+	// evaluation (spec-compiled scenarios carry tiers and per-cohort SLAs
+	// the aggregate rate map cannot express). Nil keeps the legacy
+	// rates-only evaluation byte-for-byte.
+	StreamsFor func(window int) []sim.Stream
+
 	// Obs is the self-observability recorder. When nil (the default) the
 	// loop runs exactly as before — every instrumentation point is a
 	// nil-receiver no-op with zero allocations. When set, each Step times
@@ -363,6 +369,9 @@ func (r *Reconciler) Step(rates map[string]float64, seed uint64) (*WindowReport,
 	}
 
 	var opts EvalOpts
+	if r.StreamsFor != nil {
+		opts.Streams = r.StreamsFor(w)
+	}
 	if r.Chaos != nil {
 		opts.Failures = r.Chaos.WindowFailures(w)
 		if r.Chaos.ObservabilityGap(w) {

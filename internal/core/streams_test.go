@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"erms/internal/sim"
+	"erms/internal/workload"
+)
+
+// TestReconcilerStreamsForNilIsByteIdentical pins that installing a
+// StreamsFor hook that returns nil leaves the loop byte-for-byte identical
+// to a reconciler without the hook — the operator can always wire the hook
+// and let the scenario decide.
+func TestReconcilerStreamsForNilIsByteIdentical(t *testing.T) {
+	rates := map[string]float64{}
+	for _, svc := range hotelController(t).App.Services() {
+		rates[svc] = 12_000
+	}
+
+	a := NewReconciler(hotelController(t))
+	a.WindowMin = 1.0
+	b := NewReconciler(hotelController(t))
+	b.WindowMin = 1.0
+	b.StreamsFor = func(int) []sim.Stream { return nil }
+
+	for w := 0; w < 3; w++ {
+		seed := uint64(41 + w)
+		ra, err := a.Step(rates, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Step(rates, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("window %d diverged with nil-returning StreamsFor:\n a %+v\n b %+v", w, ra, rb)
+		}
+	}
+}
+
+// TestReconcilerStreamsForDrivesEvaluation pins that hook-supplied cohort
+// streams reach the window evaluation: the report carries outcomes and the
+// hook sees the loop's window index.
+func TestReconcilerStreamsForDrivesEvaluation(t *testing.T) {
+	c := hotelController(t)
+	r := NewReconciler(c)
+	r.WindowMin = 1.0
+
+	var asked []int
+	r.StreamsFor = func(w int) []sim.Stream {
+		asked = append(asked, w)
+		return []sim.Stream{{
+			Cohort:  "web",
+			Service: "search",
+			Tier:    workload.TierStandard,
+			Pattern: workload.Static{Rate: 9_000},
+		}}
+	}
+	plain := NewReconciler(hotelController(t))
+	plain.WindowMin = 1.0
+
+	rates := map[string]float64{}
+	for _, svc := range c.App.Services() {
+		rates[svc] = 9_000
+	}
+	for w := 0; w < 2; w++ {
+		rep, err := r.Step(rates, uint64(7+w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := plain.Step(rates, uint64(7+w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TailLatency["search"] <= 0 {
+			t.Fatalf("window %d: stream-driven evaluation produced no search latency: %+v", w, rep.TailLatency)
+		}
+		// With traffic confined to the one declared cohort, the window
+		// outcome must differ from the rates-only evaluation.
+		if reflect.DeepEqual(rep.TailLatency, base.TailLatency) {
+			t.Fatalf("window %d: stream evaluation identical to rates-only evaluation", w)
+		}
+	}
+	if !reflect.DeepEqual(asked, []int{0, 1}) {
+		t.Fatalf("StreamsFor saw windows %v, want [0 1]", asked)
+	}
+}

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Handler serves the recorder over HTTP:
@@ -39,9 +42,85 @@ func (r *Recorder) Handler() http.Handler {
 }
 
 // ListenAndServe serves the handler on addr; it blocks like
-// http.ListenAndServe. Most callers run it in a goroutine.
+// http.ListenAndServe. Most callers run it in a goroutine. Callers that need
+// to distinguish a bind failure from a serve failure (or to drain in-flight
+// scrapes on shutdown) should use NewServer/Listen/Serve instead — a bad
+// address surfaces from Listen before anything runs in the background.
 func (r *Recorder) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, r.Handler())
+	srv := NewServer(addr, r.Handler())
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	return srv.Serve()
+}
+
+// Server wraps http.Server for the observability and admin endpoints with
+// two properties bare http.ListenAndServe lacks:
+//
+//   - Listen binds synchronously, so a port conflict is an error the caller
+//     sees at startup instead of a silent death inside a goroutine;
+//   - Shutdown drains in-flight scrapes (Prometheus pulls, span dumps,
+//     admin requests) before returning, so SIGTERM does not drop responses
+//     mid-body.
+//
+// A ReadHeaderTimeout guards the listener against slow-header clients
+// holding connections open indefinitely.
+type Server struct {
+	httpServer *http.Server
+	addr       string
+	ln         net.Listener
+}
+
+// NewServer builds an unstarted server for addr and handler.
+func NewServer(addr string, h http.Handler) *Server {
+	return &Server{
+		addr: addr,
+		httpServer: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+}
+
+// Listen binds the address. It must be called before Serve; the error (port
+// already bound, bad address) is returned synchronously.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", s.addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (useful with ":0"), or the configured
+// address before Listen.
+func (s *Server) Addr() string {
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.addr
+}
+
+// Serve blocks serving the bound listener. After Shutdown it returns nil
+// (http.ErrServerClosed is the orderly exit, not an error).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	err := s.httpServer.Serve(s.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to complete, up to the context deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpServer.Shutdown(ctx)
 }
 
 func (r *Recorder) serveMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerListenErrorIsSynchronous pins the startup contract: binding a
+// port that is already taken fails from Listen, before anything is served in
+// a goroutine, so callers can exit nonzero instead of silently serving
+// nothing.
+func TestServerListenErrorIsSynchronous(t *testing.T) {
+	first := NewServer("127.0.0.1:0", http.NotFoundHandler())
+	if err := first.Listen(); err != nil {
+		t.Fatalf("first Listen: %v", err)
+	}
+	defer first.Shutdown(context.Background())
+	go first.Serve()
+
+	second := NewServer(first.Addr(), http.NotFoundHandler())
+	if err := second.Listen(); err == nil {
+		second.Shutdown(context.Background())
+		t.Fatalf("second Listen on %s succeeded; want address-in-use error", first.Addr())
+	}
+}
+
+// TestServerShutdownDrainsInflight pins the graceful-drain contract: a
+// scrape that is mid-response when Shutdown is called still completes with
+// its full body.
+func TestServerShutdownDrainsInflight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		close(started)
+		<-release
+		io.WriteString(w, "drained")
+	})
+
+	srv := NewServer("127.0.0.1:0", mux)
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	var body []byte
+	var getErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			getErr = err
+			return
+		}
+		defer resp.Body.Close()
+		body, getErr = io.ReadAll(resp.Body)
+	}()
+
+	<-started
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must be waiting on the in-flight request, not killing it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	wg.Wait()
+	if getErr != nil {
+		t.Fatalf("in-flight request failed across Shutdown: %v", getErr)
+	}
+	if string(body) != "drained" {
+		t.Fatalf("in-flight body = %q, want %q", body, "drained")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned error after orderly shutdown: %v", err)
+	}
+}

@@ -22,6 +22,8 @@ var allCounterNames = []string{
 	CtrPlanSkipped, CtrPlanDirty, CtrPlanShards,
 	CtrDriftWindows, CtrDriftDetections, CtrDriftRefits, CtrDriftFallbacks,
 	CtrModelSwaps, GaugeDriftScore,
+	CtrRolloutStarted, CtrRolloutPromoted, CtrRolloutRolledBack,
+	CtrRolloutSuperseded, GaugeGeneration,
 	CtrSimEvents, CtrSimJobsAlloc, CtrSimJobsRecycled, GaugeSimHeapPeak,
 	CtrDataAttempts, CtrDataTimeouts, CtrDataRetries,
 	CtrDataRetryBudgetExhausted, CtrDataBreakerOpens,
@@ -87,6 +89,11 @@ func TestAllCountersExportOnMetrics(t *testing.T) {
 		"erms_self_drift_refit_fallbacks_total",
 		"erms_self_model_swaps_total",
 		"erms_self_drift_score_max",
+		"erms_self_rollout_started_total",
+		"erms_self_rollout_promoted_total",
+		"erms_self_rollout_rolled_back_total",
+		"erms_self_rollout_superseded_total",
+		"erms_self_spec_generation",
 	} {
 		if !strings.Contains(body, want+" ") {
 			t.Errorf("/metrics missing documented series %q", want)

@@ -83,6 +83,14 @@ const (
 	CtrModelSwaps      = "erms.self.model_swaps_total"
 	GaugeDriftScore    = "erms.self.drift_score_max" // gauge: worst drift score seen
 
+	// Operator rollouts (counted by internal/operator as spec generations
+	// move through the canary → promote → soak state machine).
+	CtrRolloutStarted    = "erms.self.rollout_started_total"
+	CtrRolloutPromoted   = "erms.self.rollout_promoted_total"
+	CtrRolloutRolledBack = "erms.self.rollout_rolled_back_total"
+	CtrRolloutSuperseded = "erms.self.rollout_superseded_total"
+	GaugeGeneration      = "erms.self.spec_generation" // gauge: committed spec generation
+
 	// Simulation engine (accumulated across evaluation windows).
 	CtrSimEvents       = "erms.self.sim_events_total"
 	CtrSimJobsAlloc    = "erms.self.sim_jobs_allocated_total"

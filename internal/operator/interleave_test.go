@@ -1,0 +1,164 @@
+package operator
+
+import (
+	"strings"
+	"testing"
+
+	"erms/internal/obs"
+)
+
+// driftBlock appends an aggressive drift loop to the bootstrap spec:
+// one window over a 30% deviation is enough to re-fit, so a substrate shift
+// and its model swap land in the same window.
+const driftBlock = `
+drift:
+  threshold: 0.3
+  consecutive: 1
+`
+
+// TestDriftSwapAndBreachSameWindow pins the nastiest interleaving: a
+// guardrail breach lands in the same window as a drift-loop model swap.
+// The rollback must revert the configuration while the swapped models —
+// which track the substrate, not the spec — survive.
+func TestDriftSwapAndBreachSameWindow(t *testing.T) {
+	// Drift signal needs whole-minute live samples past warmup, so this test
+	// runs 2-minute windows (cf. figDrift); the push must match window_min
+	// to pass admission.
+	widen := func(y string) string {
+		y = strings.Replace(y, "window_min: 1", "window_min: 2", 1)
+		return strings.Replace(y, "duration_min: 8", "duration_min: 16", 1)
+	}
+	rec := obs.New(nil)
+	o, err := New(compileSpec(t, widen(baseSpecYAML)+driftBlock), testConfig(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, o, 1)
+	if _, err := o.Push([]byte(widen(goodPushYAML)), "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Windows 1-2: clean canary, promotion at the end of window 2's canary
+	// stage, so window 2's fleet step runs under the candidate (promoting →
+	// soaking) and window 3 is the soak window.
+	stepN(t, o, 2)
+	if st := o.StatusSnapshot(); st.Phase != "soaking" {
+		t.Fatalf("phase before soak window = %s, want soaking", st.Phase)
+	}
+
+	// Shift the substrate under the fleet (the drift experiment's mid-run
+	// service-time jump) and force the guardrail shut in the same window:
+	// maxOf(...) is never negative, so any reading breaches.
+	p := o.fleet.App.Profiles["search"]
+	p.BaseMs *= 3
+	o.fleet.App.Profiles["search"] = p
+	o.Cfg.MaxViolationRate = -1
+
+	sts := stepN(t, o, 1)
+	st := sts[0]
+	if !st.Breach || !strings.Contains(st.Event, "rolled_back") {
+		t.Fatalf("soak window = %+v, want breach + rolled_back", st)
+	}
+	if st.ModelSwaps == 0 {
+		t.Fatalf("drift loop swapped no models in the breach window: %+v", st)
+	}
+	final := o.StatusSnapshot()
+	if final.Committed != 1 || final.Phase != "idle" {
+		t.Fatalf("rollback did not restore generation 1: %+v", final)
+	}
+	if g := final.Generations[1]; g.Status != StatusRolledBack || !strings.Contains(g.Reason, "soak") {
+		t.Fatalf("generation 2 = %+v, want rolled back in soak", g)
+	}
+
+	// The rollback restored the spec, not the models: the next window plans
+	// with the re-fitted models against the shifted substrate, so the drift
+	// loop has nothing left to swap.
+	o.Cfg.MaxViolationRate = 10 // reopen the guardrail
+	after := stepN(t, o, 2)
+	for _, st := range after {
+		if st.ModelSwaps != 0 {
+			t.Fatalf("window %d re-swapped %d models after rollback; the swap should have survived", st.Window, st.ModelSwaps)
+		}
+	}
+}
+
+// TestPushDuringRolloutInterleaving table-tests the concurrency policy for
+// a push landing while a previous rollout is in flight: supersede during
+// canary (the fleet never saw the old candidate), queue during soak (the
+// guardrail verdict on the in-flight candidate must not be left undecided).
+func TestPushDuringRolloutInterleaving(t *testing.T) {
+	secondPushYAML := strings.Replace(
+		strings.Replace(goodPushYAML, "name: good-push", "name: good-push-2", 1),
+		"search: 170", "search: 160", 1)
+
+	t.Run("push during canary supersedes", func(t *testing.T) {
+		rec := obs.New(nil)
+		o, err := New(compileSpec(t, baseSpecYAML), testConfig(), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepN(t, o, 1)
+		genA, err := o.Push([]byte(goodPushYAML), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepN(t, o, 1) // one clean canary window; still canarying
+		genB, err := o.Push([]byte(secondPushYAML), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if genA.Status != StatusSuperseded || !strings.Contains(genA.Reason, "generation 3") {
+			t.Fatalf("generation A = %+v, want superseded by generation 3", genA)
+		}
+		if genB.Status != StatusCanarying {
+			t.Fatalf("generation B = %+v, want canarying", genB)
+		}
+		if got := rec.Value(obs.CtrRolloutSuperseded); got != 1 {
+			t.Fatalf("rollout_superseded_total = %g, want 1", got)
+		}
+		// B's canary restarts from zero clean windows and must commit.
+		stepN(t, o, 4)
+		final := o.StatusSnapshot()
+		if final.Committed != genB.ID || final.Phase != "idle" {
+			t.Fatalf("after supersede, committed = %d phase %s, want %d idle", final.Committed, final.Phase, genB.ID)
+		}
+	})
+
+	t.Run("push during soak queues", func(t *testing.T) {
+		o := newTestOperator(t, testConfig())
+		stepN(t, o, 1)
+		genA, err := o.Push([]byte(goodPushYAML), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepN(t, o, 2)
+		if st := o.StatusSnapshot(); st.Phase != "soaking" {
+			t.Fatalf("phase = %s, want soaking", st.Phase)
+		}
+		genB, err := o.Push([]byte(secondPushYAML), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if genB.Status != StatusQueued {
+			t.Fatalf("generation B = %+v, want queued", genB)
+		}
+		if st := o.StatusSnapshot(); len(st.Queued) != 1 || st.Queued[0] != genB.ID {
+			t.Fatalf("queued = %v, want [%d]", st.Queued, genB.ID)
+		}
+
+		// Window 3 finishes A's soak and commits it; B stays queued until the
+		// machine is idle, so its canary starts at window 4.
+		sts := stepN(t, o, 1)
+		if genA.Status != StatusCommitted || genA.DecidedWindow != sts[0].Window {
+			t.Fatalf("generation A = %+v, want committed in window %d", genA, sts[0].Window)
+		}
+		sts = stepN(t, o, 1)
+		if !strings.Contains(sts[0].Event, "rollout_started") || genB.Status != StatusCanarying {
+			t.Fatalf("window %d = %+v (genB %+v), want B's rollout started", sts[0].Window, sts[0], genB)
+		}
+		stepN(t, o, 4)
+		final := o.StatusSnapshot()
+		if final.Committed != genB.ID || final.LastGood != genB.ID {
+			t.Fatalf("queued push never committed: %+v", final)
+		}
+	})
+}

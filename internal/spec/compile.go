@@ -3,8 +3,11 @@ package spec
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"erms/internal/apps"
+	"erms/internal/chaos"
+	"erms/internal/drift"
 	"erms/internal/multiplex"
 	"erms/internal/sim"
 	"erms/internal/workload"
@@ -31,7 +34,14 @@ type Scenario struct {
 	Scheme  multiplex.Scheme
 	// Resilience is non-nil when the spec enables the fault model.
 	Resilience *sim.Resilience
-	Seed       uint64
+	// Chaos is non-nil when the spec declares a fault timeline; use
+	// ChaosConfig to materialize the generator configuration. Batch runs
+	// (Scenario.Run) reject chaos specs — only the operator loop injects.
+	Chaos *ChaosSpec
+	// Drift is non-nil when the spec enables online drift detection; use
+	// DriftConfig for the controller option.
+	Drift *DriftSpec
+	Seed  uint64
 	// PlanShards is a parallelism hint for the incremental planner (0 sizes
 	// shards to the worker pool); plans are byte-identical at any value.
 	PlanShards int
@@ -74,6 +84,28 @@ func (s *Spec) Compile() (*Scenario, error) {
 	}
 	if s.Resilience != nil {
 		sc.Resilience = s.Resilience.build()
+	}
+	sc.Chaos = s.Chaos
+	sc.Drift = s.Drift
+	if len(s.App.SLAs) > 0 {
+		svcs := make([]string, 0, len(s.App.SLAs))
+		for svc := range s.App.SLAs {
+			svcs = append(svcs, svc)
+		}
+		sort.Strings(svcs)
+		for _, svc := range svcs {
+			if !known[svc] {
+				return nil, fmt.Errorf("spec: app.slas: service %q not in app %q (services: %v)",
+					svc, app.Name, app.Services())
+			}
+			sla := app.SLAs[svc]
+			sla.Service = svc
+			sla.Threshold = s.App.SLAs[svc]
+			if sla.Percentile == 0 {
+				sla.Percentile = 0.95
+			}
+			app.SLAs[svc] = sla
+		}
 	}
 	byName := make(map[string]*Cohort, len(s.Cohorts))
 	for i := range s.Cohorts {
@@ -147,6 +179,60 @@ func (r *ResilienceSpec) build() *sim.Resilience {
 		}
 	}
 	return out
+}
+
+// ChaosConfig materializes the spec's chaos block into a schedule-generator
+// configuration sized to the compiled scenario: window count and length,
+// host count, and crash candidates all come from the scenario, so the same
+// chaos block stresses any topology. ok is false when the spec declares no
+// chaos. The optional windows override extends the schedule past the spec
+// horizon (the operator loop can run longer than run.duration_min); pass 0
+// to keep the scenario's window count.
+func (sc *Scenario) ChaosConfig(windows int) (chaos.Config, bool) {
+	if sc.Chaos == nil {
+		return chaos.Config{}, false
+	}
+	if windows <= 0 {
+		windows = sc.Windows
+	}
+	c := sc.Chaos
+	return chaos.Config{
+		Seed:          c.Seed,
+		Windows:       windows,
+		WindowMin:     sc.WindowMin,
+		Hosts:         sc.Hosts,
+		Microservices: sc.App.Microservices(),
+
+		PHostFail:    c.PHostFail,
+		DownWindows:  c.DownWindows,
+		MaxHostsDown: c.MaxHostsDown,
+
+		PCrash:           c.PCrash,
+		CrashesPerWindow: c.CrashesPerWindow,
+
+		PSpike:     c.PSpike,
+		SpikeHosts: c.SpikeHosts,
+		Severity:   workload.Interference{CPU: c.SeverityCPU, Mem: c.SeverityMem},
+
+		PObsGap: c.PObsGap,
+
+		POpFail:    c.POpFail,
+		OpFailures: c.OpFailures,
+	}, true
+}
+
+// DriftConfig maps the spec's drift block onto the controller's drift
+// configuration; zero-valued knobs keep drift.Config defaults. ok is false
+// when the spec declares no drift block.
+func (sc *Scenario) DriftConfig() (drift.Config, bool) {
+	if sc.Drift == nil {
+		return drift.Config{}, false
+	}
+	return drift.Config{
+		Threshold:   sc.Drift.Threshold,
+		Consecutive: sc.Drift.Consecutive,
+		Downward:    sc.Drift.Downward,
+	}, true
 }
 
 // basePattern is the cohort's arrival pattern in spec time.

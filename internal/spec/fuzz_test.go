@@ -20,6 +20,10 @@ func FuzzParse(f *testing.F) {
 			f.Add(data)
 		}
 	}
+	f.Add([]byte(operatorYAML))
+	f.Add([]byte("chaos:\n  p_host_fail: 1e-309\n  op_failures: -1\n"))
+	f.Add([]byte("drift:\n  threshold: .inf\n"))
+	f.Add([]byte("app:\n  kind: hotel\n  slas:\n    search: -0\n"))
 	f.Add([]byte("version: 1\nseed: 99999999999999999999999\n"))
 	f.Add([]byte("a:\n\tb: 1"))
 	f.Add([]byte("a: &anchor 1"))

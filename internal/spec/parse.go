@@ -399,6 +399,21 @@ func decodeSpec(tree any) (*Spec, error) {
 		s.App.MicroservicesPerService = app.integer("microservices_per_service", 0)
 		s.App.SharingDegree = app.integer("sharing_degree", 0)
 		s.App.MaxStageWidth = app.integer("max_stage_width", 0)
+		if sv, ok := app.get("slas"); ok {
+			t := d.obj("app.slas", sv)
+			if t.m != nil {
+				keys := make([]string, 0, len(t.m))
+				for k := range t.m {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				s.App.SLAs = make(map[string]float64, len(keys))
+				for _, k := range keys {
+					fv, _ := t.get(k)
+					s.App.SLAs[k] = d.toFloat(t.at(k), fv)
+				}
+			}
+		}
 		app.done()
 	} else {
 		d.errf("spec: app is required (app.kind selects the topology)")
@@ -444,6 +459,36 @@ func decodeSpec(tree any) (*Spec, error) {
 		}
 		r.done()
 		s.Resilience = rs
+	}
+
+	if v, ok := root.get("chaos"); ok {
+		c := d.obj("chaos", v)
+		cs := &ChaosSpec{}
+		cs.Seed, cs.seedSet = c.u64("seed", s.Seed)
+		cs.PHostFail = c.f64("p_host_fail", 0)
+		cs.DownWindows = c.integer("down_windows", 0)
+		cs.MaxHostsDown = c.integer("max_hosts_down", 0)
+		cs.PCrash = c.f64("p_crash", 0)
+		cs.CrashesPerWindow = c.integer("crashes_per_window", 0)
+		cs.PSpike = c.f64("p_spike", 0)
+		cs.SpikeHosts = c.integer("spike_hosts", 0)
+		cs.SeverityCPU = c.f64("severity_cpu", 0)
+		cs.SeverityMem = c.f64("severity_mem", 0)
+		cs.PObsGap = c.f64("p_obs_gap", 0)
+		cs.POpFail = c.f64("p_op_fail", 0)
+		cs.OpFailures = c.integer("op_failures", 0)
+		c.done()
+		s.Chaos = cs
+	}
+
+	if v, ok := root.get("drift"); ok {
+		dr := d.obj("drift", v)
+		ds := &DriftSpec{}
+		ds.Threshold = dr.f64("threshold", 0)
+		ds.Consecutive = dr.integer("consecutive", 0)
+		ds.Downward = dr.boolean("downward", false)
+		dr.done()
+		s.Drift = ds
 	}
 
 	if v, ok := root.get("cohorts"); ok {

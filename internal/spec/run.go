@@ -103,15 +103,22 @@ func (sc *Scenario) TiersPresent() []workload.Tier {
 // timeline. The run is deterministic in the spec: same spec, same seed,
 // byte-identical result at any worker count.
 func (sc *Scenario) Run(rec *obs.Recorder) (*RunResult, error) {
+	if sc.Chaos != nil {
+		return nil, fmt.Errorf("spec: %q declares a chaos block, which only the operator loop injects; run it with `ermsctl operate -spec ...` (batch run would silently skip the fault timeline)", sc.Spec.Name)
+	}
 	cl := cluster.New(sc.Hosts, cluster.PaperHost)
 	orch := kube.New(cl, nil)
-	ctrl, err := core.New(sc.App, orch,
+	opts := []core.Option{
 		core.WithScheme(sc.Scheme),
 		core.WithScheduler(&provision.InterferenceAware{Groups: 4}),
 		core.WithResilience(sc.Resilience),
 		core.WithObservability(rec),
 		core.WithPlanShards(sc.PlanShards),
-	)
+	}
+	if cfg, ok := sc.DriftConfig(); ok {
+		opts = append(opts, core.WithDriftDetection(cfg))
+	}
+	ctrl, err := core.New(sc.App, orch, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ package spec
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"erms/internal/workload"
@@ -37,6 +38,15 @@ type Spec struct {
 	Run RunSpec
 	// Resilience optionally enables the data-plane fault model.
 	Resilience *ResilienceSpec
+	// Chaos optionally declares a seeded fault-injection timeline (host
+	// deaths, crashes, spikes, observability gaps, control-plane faults)
+	// alongside the cohorts it stresses. Chaos specs run under the
+	// long-running operator loop (`ermsctl operate`); the batch Scenario.Run
+	// rejects them so a fault timeline is never silently ignored.
+	Chaos *ChaosSpec
+	// Drift optionally enables the controller's online model-drift
+	// detection loop (detect → re-fit → hot-swap).
+	Drift *DriftSpec
 	// Cohorts are the named client populations driving load.
 	Cohorts []Cohort
 	// Phases is the population-dynamics timeline applied on top of the
@@ -58,6 +68,12 @@ type AppSpec struct {
 	MicroservicesPerService int
 	SharingDegree           int
 	MaxStageWidth           int
+	// SLAs overrides the topology's per-service end-to-end SLA threshold
+	// (ms). Services absent from the map keep the topology default; service
+	// names are checked at compile time. Unlike a cohort's sla_ms (which only
+	// reclassifies that cohort's outcomes), these overrides feed the planner,
+	// so a spec push that tightens them changes the resource plan.
+	SLAs map[string]float64
 }
 
 // RunSpec sets the evaluation horizon and cluster shape.
@@ -90,6 +106,55 @@ type ResilienceSpec struct {
 	// TierShedFactors overrides sim.DefaultTierShedFactors per tier name.
 	// Tiers absent from the map keep the default factor.
 	TierShedFactors map[string]float64
+}
+
+// ChaosSpec declares a seeded fault-injection timeline. Fields mirror
+// chaos.Config's per-window probability knobs; window count, window length,
+// host count, and crash candidates come from the compiled scenario, so the
+// same block stresses any topology. Zero probabilities are valid (an empty
+// schedule), letting operators stage a spec with chaos declared but dormant.
+type ChaosSpec struct {
+	// Seed seeds the fault schedule independently of the workload. Default:
+	// the spec's top-level seed.
+	Seed uint64
+	// seedSet records whether seed was present in the document.
+	seedSet bool
+	// PHostFail is the per-window probability of one host failure.
+	PHostFail float64
+	// DownWindows is how many windows a failed host stays down. Default 2.
+	DownWindows int
+	// MaxHostsDown caps concurrently failed hosts. Default hosts/4, min 1.
+	MaxHostsDown int
+	// PCrash is the per-window probability of each of CrashesPerWindow
+	// container-crash draws. CrashesPerWindow defaults to 1.
+	PCrash           float64
+	CrashesPerWindow int
+	// PSpike is the per-window probability of a latency spike hitting
+	// SpikeHosts hosts (default 1) with the given extra background
+	// interference.
+	PSpike      float64
+	SpikeHosts  int
+	SeverityCPU float64
+	SeverityMem float64
+	// PObsGap is the per-window probability of an observability gap.
+	PObsGap float64
+	// POpFail is the per-window probability of a transient control-plane
+	// operation failure lasting 1..OpFailures attempts (default 1).
+	POpFail    float64
+	OpFailures int
+}
+
+// DriftSpec enables the controller's online drift loop.
+type DriftSpec struct {
+	// Threshold is the relative deviation of observed from predicted tail
+	// latency that counts as a drifted window. 0 keeps drift.Config's
+	// default.
+	Threshold float64
+	// Consecutive is the hysteresis depth before a re-fit fires. 0 keeps
+	// the default.
+	Consecutive int
+	// Downward also treats observed latency far below prediction as drift.
+	Downward bool
 }
 
 // Cohort is one named client population issuing requests to one service at
@@ -216,6 +281,16 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if s.Chaos != nil {
+		if err := s.Chaos.validate(s.Run.Hosts); err != nil {
+			return err
+		}
+	}
+	if s.Drift != nil {
+		if err := s.Drift.validate(); err != nil {
+			return err
+		}
+	}
 	if len(s.Cohorts) == 0 {
 		return fmt.Errorf("spec: at least one cohort is required")
 	}
@@ -261,6 +336,14 @@ func (a *AppSpec) validate() error {
 	generated := a.Kind == "alibaba" || a.Kind == "scale"
 	if a.seedSet && !generated {
 		return fmt.Errorf("spec: app.seed only applies to generated topologies (alibaba, scale), not %q", a.Kind)
+	}
+	for svc, ms := range a.SLAs {
+		if svc == "" {
+			return fmt.Errorf("spec: app.slas: service name must be non-empty")
+		}
+		if math.IsNaN(ms) || math.IsInf(ms, 0) || !(ms > 0) || ms > 1e6 {
+			return fmt.Errorf("spec: app.slas.%s must be in (0, 1e6] ms, got %g", svc, ms)
+		}
 	}
 	if a.Kind != "scale" {
 		if a.Services != 0 || a.MicroservicesPerService != 0 || a.SharingDegree != 0 || a.MaxStageWidth != 0 {
@@ -332,6 +415,56 @@ func (r *ResilienceSpec) validate() error {
 		if f < 0 {
 			return fmt.Errorf("spec: resilience.tier_shed_factors.%s must be >= 0, got %g", tier, f)
 		}
+	}
+	return nil
+}
+
+func (c *ChaosSpec) validate(hosts int) error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"p_host_fail", c.PHostFail},
+		{"p_crash", c.PCrash},
+		{"p_spike", c.PSpike},
+		{"p_obs_gap", c.PObsGap},
+		{"p_op_fail", c.POpFail},
+	}
+	for _, p := range probs {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("spec: chaos.%s is a probability and must be in [0, 1], got %g", p.name, p.v)
+		}
+	}
+	if c.DownWindows < 0 || c.DownWindows > 1000 {
+		return fmt.Errorf("spec: chaos.down_windows must be in [0, 1000] (0 = default 2), got %d", c.DownWindows)
+	}
+	if c.MaxHostsDown < 0 || (hosts > 0 && c.MaxHostsDown > hosts) {
+		return fmt.Errorf("spec: chaos.max_hosts_down must be in [0, run.hosts] (0 = default hosts/4), got %d", c.MaxHostsDown)
+	}
+	if c.CrashesPerWindow < 0 || c.CrashesPerWindow > 100 {
+		return fmt.Errorf("spec: chaos.crashes_per_window must be in [0, 100] (0 = default 1), got %d", c.CrashesPerWindow)
+	}
+	if c.SpikeHosts < 0 || (hosts > 0 && c.SpikeHosts > hosts) {
+		return fmt.Errorf("spec: chaos.spike_hosts must be in [0, run.hosts] (0 = default 1), got %d", c.SpikeHosts)
+	}
+	if math.IsNaN(c.SeverityCPU) || c.SeverityCPU < 0 || c.SeverityCPU > 10 {
+		return fmt.Errorf("spec: chaos.severity_cpu must be in [0, 10], got %g", c.SeverityCPU)
+	}
+	if math.IsNaN(c.SeverityMem) || c.SeverityMem < 0 || c.SeverityMem > 10 {
+		return fmt.Errorf("spec: chaos.severity_mem must be in [0, 10], got %g", c.SeverityMem)
+	}
+	if c.OpFailures < 0 || c.OpFailures > 100 {
+		return fmt.Errorf("spec: chaos.op_failures must be in [0, 100] (0 = default 1), got %d", c.OpFailures)
+	}
+	return nil
+}
+
+func (d *DriftSpec) validate() error {
+	if math.IsNaN(d.Threshold) || d.Threshold < 0 || d.Threshold > 100 {
+		return fmt.Errorf("spec: drift.threshold must be in [0, 100] (0 = default), got %g", d.Threshold)
+	}
+	if d.Consecutive < 0 || d.Consecutive > 1000 {
+		return fmt.Errorf("spec: drift.consecutive must be in [0, 1000] (0 = default), got %d", d.Consecutive)
 	}
 	return nil
 }

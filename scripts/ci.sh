@@ -105,3 +105,24 @@ BENCH_SMOKE=1 BENCH_OUT=/tmp/bench_5_smoke.txt BENCH_JSON=/tmp/BENCH_5_smoke.jso
 	scripts/bench.sh bench5 >/dev/null
 BENCH_SMOKE=1 BENCH_OUT=/tmp/bench_6_smoke.txt BENCH_JSON=/tmp/BENCH_6_smoke.json \
 	scripts/bench.sh bench6 >/dev/null
+
+# The operator gates (PR 9).
+#
+# TestFigOperatorDeterministicAcrossWorkers: the figOperator rollout
+# timeline (good push canaries/promotes/commits, bad push auto-rolls back)
+# must render byte-identical tables at one worker and four.
+# TestFigOperatorContract: the good spec must commit within 4 windows of
+# its push, the 4x-tightened spec must roll back, and every fleet window
+# from the bad push onward must be byte-identical to a trajectory that
+# never saw it (zero fleet-wide regression beyond the canary slice).
+# TestBadPushRollsBackWithFleetUntouched + the interleaving tests pin the
+# same contracts at the state-machine level, including a guardrail breach
+# landing in the same window as a drift model swap and pushes landing
+# mid-rollout (supersede in canary, queue in soak). The obs export test is
+# the counter-name contract for the erms.self.rollout_* series and the
+# spec-generation gauge.
+echo "== operator gates (figOperator determinism + rollback contracts + counter export) =="
+go test -count=1 \
+	-run 'TestFigOperator|TestOperatorFixturesMatchExamples|TestAllCountersExportOnMetrics' \
+	./internal/experiments ./internal/obs
+go test -count=1 ./internal/operator
