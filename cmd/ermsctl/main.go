@@ -59,6 +59,9 @@ func main() {
 		loadApp  = flag.String("load-app", "", "load the application from a JSON file (overrides -app)")
 		workers  = flag.Int("parallel", 0, "worker-pool size for independent simulation runs (0 = GOMAXPROCS); output is identical at any value")
 
+		simMode  = flag.String("sim-mode", "exact", "evaluation engine fidelity: exact (discrete events everywhere) or hybrid (analytic fluid model for far-from-knee microservices)")
+		simParts = flag.Int("sim-partitions", 0, "concurrent sharing-group partition tasks for -evaluate (0 = one per group; with -sim-mode exact any value is byte-identical to the serial engine)")
+
 		shards    = flag.Int("shards", 0, "incremental planner shard count (0 = one shard per worker); any value plans identically")
 		planWin   = flag.Int("plan-windows", 0, "drive N planning windows, perturbing a fraction of services each window, and report per-window latency and skip/replan counters")
 		dirtyFrac = flag.Float64("dirty-frac", 0.1, "with -plan-windows: fraction of services whose rates change every window")
@@ -357,11 +360,21 @@ func main() {
 	}
 
 	if *doEval {
-		res, err := sys.Evaluate(plan, rates, *duration, 0.3, *seed)
+		var evalOpts erms.EvalOpts
+		switch *simMode {
+		case "exact":
+			evalOpts.SimMode = erms.SimExact
+		case "hybrid":
+			evalOpts.SimMode = erms.SimHybrid
+		default:
+			log.Fatalf("-sim-mode %q: want exact or hybrid", *simMode)
+		}
+		evalOpts.SimPartitions = *simParts
+		res, err := sys.EvaluateWithOpts(plan, rates, *duration, 0.3, *seed, evalOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nsimulated %.1f minutes:\n", *duration)
+		fmt.Printf("\nsimulated %.1f minutes (%s engine):\n", *duration, *simMode)
 		var svcs []string
 		for svc := range res.TailLatency {
 			svcs = append(svcs, svc)
@@ -548,6 +561,7 @@ var specConflicts = []string{
 	"drift", "drift-threshold", "drift-consecutive",
 	"resilience", "timeout-sla", "attempt-timeout", "retries", "retry-budget",
 	"breaker", "shed",
+	"sim-mode", "sim-partitions",
 }
 
 // rejectSpecConflicts fails fast when -spec is combined with flags the spec

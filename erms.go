@@ -84,6 +84,20 @@ type Plan = multiplex.Plan
 // EvalResult is the outcome of simulating a deployed plan.
 type EvalResult = core.EvalResult
 
+// EvalOpts carries per-window evaluation options: fault injection, cohort
+// streams, and the simulation engine selection (exact serial, partitioned,
+// or hybrid fluid/discrete — see SimExact / SimHybrid).
+type EvalOpts = core.EvalOpts
+
+// Simulation fidelity modes for EvalOpts.SimMode.
+const (
+	// SimExact runs the exact discrete-event engine (the default).
+	SimExact = sim.SimExact
+	// SimHybrid serves far-from-knee microservices from the analytic
+	// M/M/c fluid model and keeps near-knee ones on discrete events.
+	SimHybrid = sim.SimHybrid
+)
+
 // Resilience configures the data-plane fault model: deadline propagation,
 // budgeted retries, circuit breaking, admission control, and crash failure
 // semantics (see sim.Resilience).
@@ -222,6 +236,17 @@ func (s *System) Apply(plan *Plan) error { return s.ctrl.Apply(plan) }
 // SLA violation rates per service.
 func (s *System) Evaluate(plan *Plan, rates map[string]float64, durationMin, warmupMin float64, seed uint64) (*EvalResult, error) {
 	return s.ctrl.EvaluatePlan(plan, rates, durationMin, warmupMin, seed)
+}
+
+// EvaluateWithOpts is Evaluate with explicit per-window options: fault
+// injection, SLO-tiered streams, and the evaluation engine selection
+// (EvalOpts.SimMode / SimPartitions route through the partitioned parallel
+// simulator; the zero EvalOpts keeps the historical serial exact engine).
+func (s *System) EvaluateWithOpts(plan *Plan, rates map[string]float64, durationMin, warmupMin float64, seed uint64, opts EvalOpts) (*EvalResult, error) {
+	if err := s.ctrl.Apply(plan); err != nil {
+		return nil, err
+	}
+	return s.ctrl.EvaluateDeployed(plan, rates, durationMin, warmupMin, seed, opts)
 }
 
 // PlanAndEvaluate is Plan followed by Evaluate.

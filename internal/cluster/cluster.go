@@ -79,8 +79,41 @@ type Host struct {
 	Background workload.Interference // colocated batch-job load (iBench substitute)
 
 	containers map[int]*Container
-	down       bool // failed: hosts nothing, schedules nothing
-	cordoned   bool // administratively unschedulable; existing containers keep running
+	// ordered mirrors containers sorted by ID. Utilization sums iterate it
+	// instead of the map: float addition is order-sensitive at the ulp, and
+	// map iteration order would make CPUUtil nondeterministic run to run.
+	ordered  []*Container
+	down     bool // failed: hosts nothing, schedules nothing
+	cordoned bool // administratively unschedulable; existing containers keep running
+
+	// extCPUCores / extMemMB account for load on this host that is simulated
+	// elsewhere: when the simulator splits a run into sharing-group
+	// partitions, each partition clones the cluster with only its own
+	// containers placed, and the other partitions' containers show up here as
+	// external usage exchanged at window boundaries. Zero outside partitioned
+	// runs.
+	extCPUCores float64
+	extMemMB    float64
+}
+
+// SetExternalUsage records resource consumption by containers simulated in
+// other partitions of a partitioned run. It feeds CPUUtil and MemUtil (and
+// through them the interference model) without placing the containers here.
+func (h *Host) SetExternalUsage(cpuCores, memMB float64) {
+	if cpuCores < 0 {
+		cpuCores = 0
+	}
+	if memMB < 0 {
+		memMB = 0
+	}
+	h.extCPUCores = cpuCores
+	h.extMemMB = memMB
+}
+
+// ExternalUsage returns the external CPU (cores) and memory (MiB) recorded by
+// SetExternalUsage.
+func (h *Host) ExternalUsage() (cpuCores, memMB float64) {
+	return h.extCPUCores, h.extMemMB
 }
 
 // Down reports whether the host has failed.
@@ -103,19 +136,33 @@ func (h *Host) Schedulable() bool { return !h.down && !h.cordoned }
 
 // Containers returns the containers placed on the host, ordered by ID.
 func (h *Host) Containers() []*Container {
-	out := make([]*Container, 0, len(h.containers))
-	for _, c := range h.containers {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*Container, len(h.ordered))
+	copy(out, h.ordered)
 	return out
+}
+
+// insertOrdered adds c to the ID-sorted slice. IDs are assigned monotonically
+// so the common case is a plain append; the search covers re-placement after
+// removals.
+func (h *Host) insertOrdered(c *Container) {
+	i := sort.Search(len(h.ordered), func(i int) bool { return h.ordered[i].ID >= c.ID })
+	h.ordered = append(h.ordered, nil)
+	copy(h.ordered[i+1:], h.ordered[i:])
+	h.ordered[i] = c
+}
+
+func (h *Host) removeOrdered(id int) {
+	i := sort.Search(len(h.ordered), func(i int) bool { return h.ordered[i].ID >= id })
+	if i < len(h.ordered) && h.ordered[i].ID == id {
+		h.ordered = append(h.ordered[:i], h.ordered[i+1:]...)
+	}
 }
 
 // CPUUtil returns the host CPU utilization in [0, 1]: background plus the sum
 // of container CPU usage over capacity, capped at 1.
 func (h *Host) CPUUtil() float64 {
-	u := h.Background.CPU
-	for _, c := range h.containers {
+	u := h.Background.CPU + h.extCPUCores/float64(h.Spec.Cores)
+	for _, c := range h.ordered {
 		u += c.cpuUsage / float64(h.Spec.Cores)
 	}
 	if u > 1 {
@@ -127,8 +174,8 @@ func (h *Host) CPUUtil() float64 {
 // MemUtil returns the host memory utilization in [0, 1]: background plus
 // container memory requests over capacity, capped at 1.
 func (h *Host) MemUtil() float64 {
-	u := h.Background.Mem
-	for _, c := range h.containers {
+	u := h.Background.Mem + h.extMemMB/(h.Spec.MemGB*1024)
+	for _, c := range h.ordered {
 		u += c.Spec.MemMB / (h.Spec.MemGB * 1024)
 	}
 	if u > 1 {
@@ -140,7 +187,7 @@ func (h *Host) MemUtil() float64 {
 // CPUFree returns uncommitted CPU cores (requests, not usage).
 func (h *Host) CPUFree() float64 {
 	free := float64(h.Spec.Cores) * (1 - h.Background.CPU)
-	for _, c := range h.containers {
+	for _, c := range h.ordered {
 		free -= c.Spec.CPU
 	}
 	return free
@@ -149,7 +196,7 @@ func (h *Host) CPUFree() float64 {
 // MemFreeMB returns uncommitted memory in MiB.
 func (h *Host) MemFreeMB() float64 {
 	free := h.Spec.MemGB * 1024 * (1 - h.Background.Mem)
-	for _, c := range h.containers {
+	for _, c := range h.ordered {
 		free -= c.Spec.MemMB
 	}
 	return free
@@ -248,6 +295,7 @@ func (cl *Cluster) Place(spec ContainerSpec, hostID int) (*Container, error) {
 	c := &Container{ID: cl.nextCID, Spec: spec, Host: h, cpuUsage: spec.CPU}
 	cl.nextCID++
 	h.containers[c.ID] = c
+	h.insertOrdered(c)
 	cl.containers[c.ID] = c
 	return c, nil
 }
@@ -259,6 +307,7 @@ func (cl *Cluster) Remove(containerID int) error {
 		return fmt.Errorf("cluster: no container %d", containerID)
 	}
 	delete(c.Host.containers, containerID)
+	c.Host.removeOrdered(containerID)
 	delete(cl.containers, containerID)
 	return nil
 }

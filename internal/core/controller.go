@@ -463,6 +463,18 @@ type EvalOpts struct {
 	// covered by at least one stream ignore their rates entry; per-tier
 	// outcomes are surfaced under the erms.data.tier_* counters.
 	Streams []sim.Stream
+	// SimMode selects the evaluation engine fidelity: sim.SimExact (the
+	// default, byte-identical to the historical serial engine) or
+	// sim.SimHybrid (fluid fast path for far-from-knee microservices).
+	SimMode sim.SimMode
+	// SimPartitions caps the concurrent sharing-group partition tasks of
+	// the evaluation run (sim.PartitionOpts.Partitions). 0 with SimExact
+	// keeps the serial engine; any other combination routes through
+	// sim.RunPartitioned.
+	SimPartitions int
+	// Fluid tunes the hybrid fast path; nil uses defaults. Ignored unless
+	// SimMode is sim.SimHybrid.
+	Fluid *sim.FluidConfig
 }
 
 // EvaluatePlan applies a precomputed plan and simulates it.
@@ -508,16 +520,32 @@ func (c *Controller) EvaluateDeployed(plan *multiplex.Plan, rates map[string]flo
 		Resilience:     c.Resilience,
 		Streams:        opts.Streams,
 	}
-	rt, err := sim.NewRuntime(cfg)
-	if err != nil {
-		return nil, err
+	var res *sim.Result
+	if opts.SimMode != sim.SimExact || opts.SimPartitions != 0 {
+		var err error
+		res, err = sim.RunPartitioned(cfg, sim.PartitionOpts{
+			Mode:       opts.SimMode,
+			Partitions: opts.SimPartitions,
+			Fluid:      opts.Fluid,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rt, err := sim.NewRuntime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res = rt.Run()
 	}
-	res := rt.Run()
 	if c.Obs != nil {
 		c.Obs.Add(obs.CtrSimEvents, float64(res.Engine.Events))
 		c.Obs.Add(obs.CtrSimJobsAlloc, float64(res.Engine.JobsAllocated))
 		c.Obs.Add(obs.CtrSimJobsRecycled, float64(res.Engine.JobsRecycled))
 		c.Obs.SetMax(obs.GaugeSimHeapPeak, float64(res.Engine.HeapPeak))
+		c.Obs.Add(obs.CtrSimPartitions, float64(res.Partitions))
+		c.Obs.Add(obs.CtrSimFluidContainers, float64(res.FluidContainerMinutes))
+		c.Obs.Add(obs.CtrSimExactContainers, float64(res.ExactContainerMinutes))
 		if c.Resilience != nil {
 			d := res.Data
 			c.Obs.Add(obs.CtrDataAttempts, float64(d.Attempts))

@@ -55,6 +55,10 @@ type IncrementalPlanner struct {
 	cache  *scaling.TemplateCache
 	shards int // requested; <=0 means one shard per pool worker
 
+	// shareExposure hands callers the cached allocations and rank maps
+	// directly instead of per-window clones. See SetShareExposure.
+	shareExposure bool
+
 	// Topology snapshot the caches are valid against.
 	haveState bool
 	scheme    Scheme
@@ -143,6 +147,17 @@ func NewIncrementalPlanner(cache *scaling.TemplateCache, shards int) *Incrementa
 
 // Cache returns the underlying template cache.
 func (p *IncrementalPlanner) Cache() *scaling.TemplateCache { return p.cache }
+
+// SetShareExposure toggles zero-copy plan exposure. When on, PlanScheme
+// returns the planner's cached allocations and rank maps directly instead of
+// deep clones, so a window where every sharing group is clean does no
+// allocation-map copying at all (on the 1000-service scale topology the
+// per-window clone is ~150k map entries). The returned *Plan and everything
+// reachable from it MUST be treated as read-only: mutating it corrupts the
+// caches that later windows reuse (the copy-on-write guarantee of the
+// default mode no longer holds). Values are identical either way — only
+// ownership changes. Takes effect from the next PlanScheme call.
+func (p *IncrementalPlanner) SetShareExposure(on bool) { p.shareExposure = on }
 
 // Stats returns cumulative planner counters.
 func (p *IncrementalPlanner) Stats() IncrementalStats {
@@ -572,6 +587,19 @@ func (p *IncrementalPlanner) planGroup(gi int, inputs map[string]scaling.Input, 
 // and per-group, so shards never contend), keeping the serial fold down to
 // map assembly and the float merge.
 func (p *IncrementalPlanner) exposeGroup(gi int) {
+	if p.shareExposure {
+		// Zero-copy path: the caller promised (SetShareExposure) not to
+		// mutate what it gets back, so clean and dirty groups alike hand out
+		// the cached structures themselves.
+		for _, si := range p.groups[gi] {
+			st := &p.svcState[si]
+			st.exposed = st.finalAlloc
+		}
+		if p.scheme == SchemePriority {
+			p.windowRanks[gi] = p.groupRanks[gi]
+		}
+		return
+	}
 	for _, si := range p.groups[gi] {
 		st := &p.svcState[si]
 		st.exposed = st.finalAlloc.Clone()

@@ -323,3 +323,57 @@ func TestIncrementalAcrossWorkersAndShards(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalShareExposureOracle: with zero-copy exposure opted in, the
+// planner returns values bit-identical to both the monolithic oracle and its
+// own cloning mode — across cold, clean, and dirtied windows — while clean
+// windows hand back the cached allocation pointers themselves (no per-window
+// clone).
+func TestIncrementalShareExposureOracle(t *testing.T) {
+	inputs, loads, shared := scaleInputs(t, apps.ScaleConfig{
+		Seed: 19, Services: 12, MicroservicesPerService: 8, SharingDegree: 3,
+	})
+	for _, scheme := range []Scheme{SchemePriority, SchemeFCFS, SchemeNonShared} {
+		ctx := fmt.Sprintf("%v", scheme)
+		p := NewIncrementalPlanner(nil, 2)
+		p.SetShareExposure(true)
+
+		want, err := PlanScheme(scheme, inputs, loads, shared)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", ctx, err)
+		}
+		w1 := planIncremental(t, p, scheme, inputs, loads, shared, ctx+" w1")
+		requirePlanBitIdentical(t, want, w1, ctx+" cold window (shared exposure)")
+
+		// Clean window: same values, and the very same allocation objects —
+		// the point of the opt-in is that nothing is cloned.
+		before := p.Stats()
+		w2 := planIncremental(t, p, scheme, inputs, loads, shared, ctx+" w2")
+		requirePlanBitIdentical(t, want, w2, ctx+" warm window (shared exposure)")
+		if skipped := p.Stats().SkippedServices - before.SkippedServices; skipped != uint64(len(inputs)) {
+			t.Fatalf("%s: warm window skipped %d services, want all %d", ctx, skipped, len(inputs))
+		}
+		for svc := range w1.PerService {
+			if w1.PerService[svc] != w2.PerService[svc] {
+				t.Fatalf("%s: %s: clean window cloned the allocation despite shared exposure", ctx, svc)
+			}
+		}
+
+		// Dirty window: replanning a group swaps in fresh objects for its
+		// members; values still match a from-scratch oracle.
+		loads["scale-svc-00000"]["pool-00000"] *= 1.5
+		want, err = PlanScheme(scheme, inputs, loads, shared)
+		if err != nil {
+			t.Fatalf("%s: oracle after mutation: %v", ctx, err)
+		}
+		w3 := planIncremental(t, p, scheme, inputs, loads, shared, ctx+" w3")
+		requirePlanBitIdentical(t, want, w3, ctx+" dirty window (shared exposure)")
+		loads["scale-svc-00000"]["pool-00000"] /= 1.5
+
+		// Cloning mode on the same inputs agrees bit for bit, window by
+		// window — exposure mode changes ownership, never values.
+		pc := NewIncrementalPlanner(nil, 2)
+		cl := planIncremental(t, pc, scheme, inputs, loads, shared, ctx+" clone w1")
+		requirePlanBitIdentical(t, cl, w1, ctx+" clone vs shared")
+	}
+}

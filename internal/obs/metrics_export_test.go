@@ -25,6 +25,7 @@ var allCounterNames = []string{
 	CtrRolloutStarted, CtrRolloutPromoted, CtrRolloutRolledBack,
 	CtrRolloutSuperseded, GaugeGeneration,
 	CtrSimEvents, CtrSimJobsAlloc, CtrSimJobsRecycled, GaugeSimHeapPeak,
+	CtrSimPartitions, CtrSimFluidContainers, CtrSimExactContainers,
 	CtrDataAttempts, CtrDataTimeouts, CtrDataRetries,
 	CtrDataRetryBudgetExhausted, CtrDataBreakerOpens,
 	CtrDataBreakerShortCircuits, CtrDataShed, CtrDataCrashFailures,
@@ -94,6 +95,9 @@ func TestAllCountersExportOnMetrics(t *testing.T) {
 		"erms_self_rollout_rolled_back_total",
 		"erms_self_rollout_superseded_total",
 		"erms_self_spec_generation",
+		"erms_self_sim_partitions_total",
+		"erms_self_sim_fluid_containers_total",
+		"erms_self_sim_exact_containers_total",
 	} {
 		if !strings.Contains(body, want+" ") {
 			t.Errorf("/metrics missing documented series %q", want)

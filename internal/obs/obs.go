@@ -97,6 +97,13 @@ const (
 	CtrSimJobsRecycled = "erms.self.sim_jobs_recycled_total"
 	GaugeSimHeapPeak   = "erms.self.sim_event_heap_peak" // gauge: high-water event-heap depth
 
+	// Partitioned / hybrid simulation (accumulated across evaluation
+	// windows): sharing-group partitions run, and container-minutes served
+	// from the analytic fluid model vs the discrete event engine.
+	CtrSimPartitions      = "erms.self.sim_partitions_total"
+	CtrSimFluidContainers = "erms.self.sim_fluid_containers_total"
+	CtrSimExactContainers = "erms.self.sim_exact_containers_total"
+
 	// Data-plane resilience (accumulated across evaluation windows; all zero
 	// unless the simulator runs with a sim.Resilience config).
 	CtrDataAttempts             = "erms.data.attempts_total"

@@ -133,6 +133,77 @@ func (q MMC) WaitQuantile(p float64) (float64, error) {
 	return -math.Log((1-p)/pc) / (float64(q.Servers)*q.Mu - q.Lambda), nil
 }
 
+// Saturated reports whether the queue has no stationary distribution: the
+// offered load reaches or exceeds capacity (ρ ≥ 1), the service rate is not
+// positive, or there are no servers.
+func (q MMC) Saturated() bool {
+	if q.Servers <= 0 || q.Mu <= 0 {
+		return q.Lambda > 0
+	}
+	return q.Rho() >= 1
+}
+
+// ErlangCBounded is ErlangC extended to the edge cases the simulator's fluid
+// fast path evaluates every minute, returning a finite, documented value
+// instead of an error, Inf, or NaN:
+//
+//   - zero offered load (λ ≤ 0): nobody waits, returns 0;
+//   - instantaneous service (μ = +Inf, i.e. zero service time): returns 0;
+//   - saturated (ρ ≥ 1, including ρ exactly 1 — the knee sitting exactly at
+//     the operating point — and degenerate μ ≤ 0 or Servers ≤ 0): every
+//     arrival waits, returns 1.
+func (q MMC) ErlangCBounded() float64 {
+	if q.Lambda <= 0 {
+		return 0
+	}
+	if q.Saturated() {
+		return 1
+	}
+	pc, err := q.ErlangC()
+	if err != nil {
+		return 1
+	}
+	return pc
+}
+
+// MeanWaitBounded returns the mean waiting time clamped to boundMs: the
+// Erlang-C mean wait when the queue is stable, and boundMs when it is
+// saturated (where the true mean diverges). boundMs ≤ 0 disables the clamp
+// for stable queues but still caps the saturated case at 0 — pass a positive
+// bound.
+func (q MMC) MeanWaitBounded(boundMs float64) float64 {
+	if q.Lambda <= 0 {
+		return 0
+	}
+	if q.Saturated() {
+		return boundMs
+	}
+	w, err := q.MeanWait()
+	if err != nil || (boundMs > 0 && w > boundMs) {
+		return boundMs
+	}
+	return w
+}
+
+// WaitQuantileBounded returns the p-quantile of the waiting time with the
+// same finite-value contract: p is clamped into [0, 1] (p ≤ 0 → 0, p ≥ 1 →
+// boundMs), saturation returns boundMs, and stable-queue quantiles are capped
+// at boundMs (the far tail of the exponential branch otherwise diverges as
+// p → 1).
+func (q MMC) WaitQuantileBounded(p, boundMs float64) float64 {
+	if p <= 0 || q.Lambda <= 0 {
+		return 0
+	}
+	if p >= 1 || q.Saturated() {
+		return boundMs
+	}
+	w, err := q.WaitQuantile(p)
+	if err != nil || (boundMs > 0 && w > boundMs) {
+		return boundMs
+	}
+	return w
+}
+
 // MG1 describes an M/G/1 queue with general service times given by their
 // first two moments.
 type MG1 struct {

@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"erms/internal/graph"
+	"erms/internal/queueing"
+	"erms/internal/stats"
+	"erms/internal/workload"
+)
+
+// FluidConfig tunes the hybrid fluid/discrete fast path (Config.Fluid).
+//
+// The fidelity contract: each simulated minute, every microservice is
+// classified as fluid or exact. A microservice is fluid when its containers'
+// M/M/c utilization (arrival rate from the pre-materialized arrival lists,
+// service rate from the profile inflated by the current host interference)
+// is at or below RhoMax — i.e. the operating point sits well below the
+// latency knee, where the analytic queueing model is trustworthy (the same
+// observation Erms' piecewise-linear latency models rest on). Fluid calls
+// draw their latency from the Erlang-C waiting-time distribution plus the
+// profiled service-time distribution instead of queueing per-request events;
+// whole fluid subtrees collapse to a single completion event. Near-knee
+// microservices, microservices targeted by failure injection, closed-loop
+// services' microservices, and every run with Resilience enabled stay exact.
+//
+// Known approximations, gated by the figSim fidelity harness: fluid calls
+// ignore priority-queue ordering (δ-policy) and cross-minute queue carryover,
+// per-minute call counts are credited at the subtree root's arrival instant,
+// and fluid MinuteSamples synthesize TailMs/MeanMs from the model rather
+// than from per-request observations.
+type FluidConfig struct {
+	// RhoMax is the per-container M/M/c utilization at or below which a
+	// microservice is served from the analytic model. Default 0.6 — safely
+	// below the knee for the thread counts this repo simulates.
+	RhoMax float64
+	// TailQuantile is the quantile synthesized into MinuteSample.TailMs for
+	// fluid minutes. Default 0.95, matching the exact engine's reservoir
+	// quantile.
+	TailQuantile float64
+	// WaitBoundMs caps analytic waiting-time draws (the exponential branch of
+	// the Erlang-C wait is unbounded). Default 10000.
+	WaitBoundMs float64
+}
+
+func (c FluidConfig) withDefaults() FluidConfig {
+	if c.RhoMax <= 0 {
+		c.RhoMax = 0.6
+	}
+	if c.TailQuantile <= 0 || c.TailQuantile >= 1 {
+		c.TailQuantile = 0.95
+	}
+	if c.WaitBoundMs <= 0 {
+		c.WaitBoundMs = 10_000
+	}
+	return c
+}
+
+// fluidModel is the per-microservice analytic model for the current minute.
+type fluidModel struct {
+	erlangC   float64 // P(wait > 0)
+	exRate    float64 // conditional wait rate cμ−λ, per ms
+	waitBound float64
+	baseMs    float64 // uncontended mean service time
+	cv        float64
+	dist      stats.LogNormal // service-time distribution (unscaled)
+	inflation float64         // interference factor at the last refresh
+	meanMs    float64         // synthesized MinuteSample.MeanMs
+	tailMs    float64         // synthesized MinuteSample.TailMs
+	rho       float64
+}
+
+// fluidState is the runtime of the fluid fast path. It is rebuilt every
+// simulated minute at the flush boundary (refresh), inside the engine's
+// single-threaded event loop, so all state is unsynchronized.
+type fluidState struct {
+	rt       *Runtime
+	cfg      FluidConfig
+	minutes  int
+	disabled bool // Resilience enabled: everything stays exact
+
+	// Static after prepare().
+	pinned        map[string]bool      // always-exact microservices
+	arrCounts     map[string][]int     // service -> arrivals per minute
+	msCallsPerMin map[string][]float64 // ms -> offered calls per minute
+	subMS         map[*graph.Node][]string
+	msNames       []string
+
+	// Per-minute state, rebuilt by refresh().
+	fluid   map[string]bool
+	subtree map[*graph.Node]bool
+	model   map[string]*fluidModel
+
+	// minuteCalls counts fluid-path calls per microservice in the current
+	// minute; flushMinute drains it next to the containers' discrete counts.
+	minuteCalls map[string]int
+
+	fluidCM int // container-minutes served from the analytic model
+	exactCM int // container-minutes simulated discretely
+}
+
+func newFluidState(rt *Runtime) *fluidState {
+	return &fluidState{
+		rt:            rt,
+		cfg:           rt.cfg.Fluid.withDefaults(),
+		minutes:       int(rt.cfg.DurationMin),
+		pinned:        make(map[string]bool),
+		arrCounts:     make(map[string][]int),
+		msCallsPerMin: make(map[string][]float64),
+		subMS:         make(map[*graph.Node][]string),
+		fluid:         make(map[string]bool),
+		subtree:       make(map[*graph.Node]bool),
+		model:         make(map[string]*fluidModel),
+		minuteCalls:   make(map[string]int),
+	}
+}
+
+// noteArrivals records a service's materialized arrival list; called from
+// setup for every open-loop and stream arrival process.
+func (f *fluidState) noteArrivals(svc string, arr []float64) {
+	counts := f.arrCounts[svc]
+	if counts == nil {
+		counts = make([]int, f.minutes)
+		f.arrCounts[svc] = counts
+	}
+	for _, t := range arr {
+		m := int(t / 60_000)
+		if m >= f.minutes {
+			m = f.minutes - 1
+		}
+		counts[m]++
+	}
+}
+
+// prepare finalizes the static eligibility inputs once all arrivals are
+// known: the pinned set, the per-microservice offered load per minute, and
+// the per-node subtree microservice lists.
+func (f *fluidState) prepare() {
+	rt := f.rt
+	if rt.res != nil {
+		// The resilience fault model (retries, breakers, shedding, crash
+		// semantics) is inherently per-request; the fluid path would erase
+		// it. Everything stays exact.
+		f.disabled = true
+		f.exactCM = len(rt.states) * f.minutes
+		return
+	}
+	// Pin closed-loop services' whole graphs (their offered load is unknown
+	// a priori) and every microservice touched by failure injection. Pinning
+	// at microservice granularity also guarantees a fluid microservice never
+	// receives discrete jobs from a pinned service sharing it — the mixing
+	// would let discrete arrivals see none of the fluid load.
+	hostHit := make(map[int]bool)
+	for _, fail := range rt.cfg.Failures {
+		if fail.Microservice != "" {
+			f.pinned[fail.Microservice] = true
+		} else {
+			hostHit[fail.Host] = true
+		}
+	}
+	for _, g := range rt.cfg.Graphs {
+		closed := false
+		if _, ok := rt.cfg.ClosedUsers[g.Service]; ok {
+			if _, streamed := rt.streamsBySvc[g.Service]; !streamed {
+				closed = true
+			}
+		}
+		for _, ms := range g.Microservices() {
+			if closed {
+				f.pinned[ms] = true
+				continue
+			}
+			if len(hostHit) > 0 {
+				for _, cs := range rt.byMS[ms] {
+					if hostHit[cs.c.Host.ID] {
+						f.pinned[ms] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	for ms := range rt.byMS {
+		f.msNames = append(f.msNames, ms)
+		counts := f.msCallsPerMin[ms]
+		if counts == nil {
+			f.msCallsPerMin[ms] = make([]float64, f.minutes)
+		}
+	}
+	sort.Strings(f.msNames)
+	for _, g := range rt.cfg.Graphs {
+		arr := f.arrCounts[g.Service]
+		if arr == nil {
+			continue
+		}
+		// Node multiplicity: each request visits every node of the graph
+		// once (barring failures, which pin their microservices anyway).
+		mult := make(map[string]int)
+		for _, n := range g.PreOrder() {
+			mult[n.Microservice]++
+		}
+		for ms, k := range mult {
+			counts := f.msCallsPerMin[ms]
+			if counts == nil {
+				continue // containers exist but ms not placed? defensive
+			}
+			for m, c := range arr {
+				counts[m] += float64(c * k)
+			}
+		}
+		var flatten func(n *graph.Node) []string
+		flatten = func(n *graph.Node) []string {
+			out := []string{n.Microservice}
+			for _, st := range n.Stages {
+				for _, c := range st {
+					out = append(out, flatten(c)...)
+				}
+			}
+			return out
+		}
+		for _, n := range g.PreOrder() {
+			f.subMS[n] = flatten(n)
+		}
+	}
+}
+
+// refresh reclassifies every microservice for minute m and re-fits the fluid
+// models against the interference level observed at the minute boundary.
+func (f *fluidState) refresh(m int) {
+	if f.disabled || m >= f.minutes {
+		return
+	}
+	rt := f.rt
+	for ms := range f.fluid {
+		delete(f.fluid, ms)
+	}
+	for n := range f.subtree {
+		delete(f.subtree, n)
+	}
+	for _, ms := range f.msNames {
+		states := rt.byMS[ms]
+		if f.pinned[ms] {
+			f.exactCM += len(states)
+			continue
+		}
+		prof := rt.cfg.Profiles[ms]
+		infl := 1.0
+		for _, cs := range states {
+			if v := rt.cfg.Interference.HostInflation(cs.c.Host); v > infl {
+				infl = v
+			}
+		}
+		lamC := f.msCallsPerMin[ms][m] / 60_000 / float64(len(states))
+		threads := states[0].c.Spec.Threads
+		md := f.model[ms]
+		if md == nil {
+			md = &fluidModel{}
+			f.model[ms] = md
+		}
+		if prof.BaseMs <= 0 {
+			// Instantaneous service: always fluid, zero latency.
+			*md = fluidModel{waitBound: f.cfg.WaitBoundMs}
+		} else {
+			mu := 1 / (prof.BaseMs * infl)
+			q := queueing.MMC{Lambda: lamC, Mu: mu, Servers: threads}
+			rho := q.Rho()
+			if rho > f.cfg.RhoMax {
+				f.exactCM += len(states)
+				continue
+			}
+			meanSvc := prof.BaseMs * infl
+			tailSvc := meanSvc
+			var dist stats.LogNormal
+			if prof.CV > 0 {
+				dist = stats.LogNormalFromMeanCV(prof.BaseMs, prof.CV)
+				z := math.Sqrt2 * math.Erfinv(2*f.cfg.TailQuantile-1)
+				tailSvc = math.Exp(dist.Mu+z*dist.Sigma) * infl
+			}
+			*md = fluidModel{
+				erlangC:   q.ErlangCBounded(),
+				exRate:    float64(threads)*mu - lamC,
+				waitBound: f.cfg.WaitBoundMs,
+				baseMs:    prof.BaseMs,
+				cv:        prof.CV,
+				dist:      dist,
+				inflation: infl,
+				meanMs:    q.MeanWaitBounded(f.cfg.WaitBoundMs) + meanSvc,
+				tailMs:    q.WaitQuantileBounded(f.cfg.TailQuantile, f.cfg.WaitBoundMs) + tailSvc,
+				rho:       rho,
+			}
+		}
+		f.fluid[ms] = true
+		f.fluidCM += len(states)
+		// Reflect the model's steady-state thread occupancy into host
+		// utilization so colocated exact containers see the load.
+		for _, cs := range states {
+			cs.c.SetCPUUsage(md.rho * cs.c.Spec.CPU)
+		}
+	}
+	for _, g := range rt.cfg.Graphs {
+		f.markSubtree(g.Root)
+	}
+}
+
+// markSubtree marks nodes whose entire subtree is fluid this minute; those
+// calls collapse to one completion event.
+func (f *fluidState) markSubtree(n *graph.Node) bool {
+	ok := f.fluid[n.Microservice]
+	for _, st := range n.Stages {
+		for _, c := range st {
+			if !f.markSubtree(c) {
+				ok = false
+			}
+		}
+	}
+	if ok {
+		f.subtree[n] = true
+	}
+	return ok
+}
+
+// drawLatency samples one call's latency (wait + service) from the current
+// analytic model, consuming the runtime's RNG deterministically.
+func (f *fluidState) drawLatency(ms string) float64 {
+	md := f.model[ms]
+	var wait float64
+	if md.erlangC > 0 {
+		if u := f.rt.rng.Float64(); u > 1-md.erlangC {
+			wait = -math.Log((1-u)/md.erlangC) / md.exRate
+			if wait > md.waitBound || math.IsNaN(wait) {
+				wait = md.waitBound
+			}
+		}
+	}
+	if md.baseMs <= 0 {
+		return wait
+	}
+	svc := md.baseMs * md.inflation
+	if md.cv > 0 {
+		svc = md.dist.Sample(f.rt.rng) * md.inflation
+	}
+	return wait + svc
+}
+
+// issueFluidCall serves one call of a fluid microservice: a whole-fluid
+// subtree collapses to a single completion event (unless the trace is
+// sampled — sampled traces keep per-node spans so the profiling pipeline
+// still sees them); otherwise the node's own latency is drawn analytically
+// and downstream stages execute normally.
+func (f *fluidState) issueFluidCall(svc string, tier workload.Tier, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, clientSend, serverRecv float64, onDone func()) {
+	rt := f.rt
+	if !sampled && f.subtree[n] {
+		lat := f.subtreeLatency(n)
+		f.creditSubtree(svc, n, serverRecv)
+		rt.eng.At(serverRecv+lat+rt.cfg.NetworkDelayMs, onDone)
+		return
+	}
+	f.credit(svc, n.Microservice, serverRecv)
+	body := rt.serveBody(svc, tier, traceID, sampled, n, parentMS, parentID, stage, 0, nil, clientSend, serverRecv, onDone, nil)
+	rt.eng.At(serverRecv+f.drawLatency(n.Microservice), body)
+}
+
+// subtreeLatency draws the whole subtree's latency: own wait+service plus,
+// per sequential stage, the slowest child subtree including its two network
+// hops. All draws happen at decision time, which preserves determinism (one
+// engine, one RNG) and is what makes the collapse one event per request.
+func (f *fluidState) subtreeLatency(n *graph.Node) float64 {
+	total := f.drawLatency(n.Microservice)
+	for _, st := range n.Stages {
+		var slowest float64
+		for _, c := range st {
+			lat := 2*f.rt.cfg.NetworkDelayMs + f.subtreeLatency(c)
+			if lat > slowest {
+				slowest = lat
+			}
+		}
+		total += slowest
+	}
+	return total
+}
+
+// credit accounts one fluid call for the per-minute and per-service-pair
+// call counters, mirroring the discrete path's enqueue-time accounting.
+func (f *fluidState) credit(svc, ms string, at float64) {
+	f.minuteCalls[ms]++
+	if at >= f.rt.warmMs {
+		if m, ok := f.rt.svcMSCalls[svc]; ok {
+			m[ms]++
+		}
+	}
+}
+
+// creditSubtree accounts every node of a collapsed subtree at the root's
+// arrival instant.
+func (f *fluidState) creditSubtree(svc string, n *graph.Node, at float64) {
+	for _, ms := range f.subMS[n] {
+		f.credit(svc, ms, at)
+	}
+}

@@ -111,6 +111,15 @@ type Config struct {
 	// failure semantics. Nil (the default) keeps the historical infallible
 	// data plane — runs are byte-identical to earlier releases.
 	Resilience *Resilience
+	// Fluid enables the hybrid fluid/discrete fast path: microservices whose
+	// containers sit far below their latency knee (per-container M/M/c
+	// utilization at or below Fluid.RhoMax, re-evaluated every simulated
+	// minute) are served from the analytic queueing model instead of
+	// per-request events, while near-knee, failure-targeted, and closed-loop
+	// microservices keep exact discrete-event simulation. Nil (the default)
+	// keeps the historical exact engine byte for byte. See FluidConfig for
+	// the fidelity contract.
+	Fluid *FluidConfig
 	// Streams replaces Patterns with named client cohorts: each stream is an
 	// independent arrival process onto one service, tagged with an SLO tier
 	// that the whole request tree inherits (admission control sheds batch and
@@ -409,6 +418,15 @@ type Result struct {
 	// stream) order — only minutes past the warmup and not dropped. Nil when
 	// no streams are configured.
 	StreamMinutes []StreamMinute
+	// Partitions is the number of sharing-group partitions the run was split
+	// into: 1 for any single-stream run, ≥ 1 for RunPartitioned.
+	Partitions int
+	// FluidContainerMinutes / ExactContainerMinutes decompose container
+	// simulation time by fidelity: one unit is one container simulated for
+	// one minute on the fluid (analytic) or exact (discrete-event) path.
+	// Without Config.Fluid every container-minute is exact.
+	FluidContainerMinutes int
+	ExactContainerMinutes int
 }
 
 // RunStats bundles the run's engine counters with the job free-list's
@@ -480,6 +498,10 @@ type Runtime struct {
 	// Cohort-stream runtime (nil when Config.Streams is empty).
 	streamsBySvc map[string][]int
 	streamAcc    []streamMinuteAcc
+
+	// Fluid fast-path runtime (nil when Config.Fluid is nil — the exact
+	// engine pays only `rt.fl != nil` checks).
+	fl *fluidState
 }
 
 // streamMinuteAcc accumulates one stream's outcomes within the current
@@ -573,6 +595,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		rt.svcMSCalls[g.Service] = make(map[string]int)
 	}
+	if cfg.Fluid != nil {
+		rt.fl = newFluidState(rt)
+	}
 	if len(cfg.Streams) > 0 {
 		rt.streamsBySvc = make(map[string][]int)
 		rt.streamAcc = make([]streamMinuteAcc, len(cfg.Streams))
@@ -601,6 +626,21 @@ func (rt *Runtime) streamSLA(si int) (workload.SLA, bool) {
 
 // Run executes the simulation and returns aggregated results.
 func (rt *Runtime) Run() *Result {
+	rt.setup()
+	// Run past the nominal end so in-flight requests complete.
+	rt.advanceTo(rt.cfg.DurationMin*60_000 + drainMs)
+	return rt.finish()
+}
+
+// drainMs is how far past the nominal end the engine runs so in-flight
+// requests complete.
+const drainMs = 10 * 60_000
+
+// setup schedules the whole workload — arrivals, failures, minute ticks —
+// without executing any of it. Run is setup + advanceTo(end) + finish;
+// RunPartitioned interleaves advanceTo calls across partitions at minute
+// boundaries instead.
+func (rt *Runtime) setup() {
 	endMs := rt.cfg.DurationMin * 60_000
 	warmMs := rt.cfg.WarmupMin * 60_000
 
@@ -613,6 +653,9 @@ func (rt *Runtime) Run() *Result {
 		if idxs, ok := rt.streamsBySvc[g.Service]; ok {
 			for _, si := range idxs {
 				arr := workload.Arrivals(rt.cfg.Streams[si].Pattern, rt.rng.Split(), 0, rt.cfg.DurationMin)
+				if rt.fl != nil {
+					rt.fl.noteArrivals(g.Service, arr)
+				}
 				rt.scheduleStreamArrivals(g, si, arr, warmMs)
 			}
 			continue
@@ -622,6 +665,9 @@ func (rt *Runtime) Run() *Result {
 			continue
 		}
 		arr := workload.Arrivals(rt.cfg.Patterns[g.Service], rt.rng.Split(), 0, rt.cfg.DurationMin)
+		if rt.fl != nil {
+			rt.fl.noteArrivals(g.Service, arr)
+		}
 		rt.scheduleArrivals(g, arr, warmMs)
 	}
 
@@ -662,12 +708,28 @@ func (rt *Runtime) Run() *Result {
 	firstMinute := int(math.Ceil(rt.cfg.WarmupMin))
 	for m := 0; m < int(rt.cfg.DurationMin); m++ {
 		m := m
-		rt.eng.At(float64(m+1)*60_000, func() { rt.flushMinute(m, m >= firstMinute && !rt.dropMin[m]) })
+		rt.eng.At(float64(m+1)*60_000, func() {
+			rt.flushMinute(m, m >= firstMinute && !rt.dropMin[m])
+			if rt.fl != nil {
+				// Re-fit the fluid models for the minute that just opened,
+				// after the flush so the closing minute's models stay intact
+				// for its synthesized samples.
+				rt.fl.refresh(m + 1)
+			}
+		})
 	}
 
-	// Run past the nominal end so in-flight requests complete.
-	rt.eng.Run(endMs + 10*60_000)
+	if rt.fl != nil {
+		rt.fl.prepare()
+		rt.fl.refresh(0)
+	}
+}
 
+// advanceTo executes all events up to and including time t (ms).
+func (rt *Runtime) advanceTo(t float64) { rt.eng.Run(t) }
+
+// finish folds the accumulators into the Result after the last advanceTo.
+func (rt *Runtime) finish() *Result {
 	rt.result.SimulatedMin = rt.cfg.DurationMin - rt.cfg.WarmupMin
 	for svc, byMS := range rt.svcMSCalls {
 		rates := make(map[string]float64, len(byMS))
@@ -682,6 +744,13 @@ func (rt *Runtime) Run() *Result {
 		JobsRecycled:  rt.jobsRecycled,
 	}
 	rt.result.Data = rt.data
+	rt.result.Partitions = 1
+	if rt.fl != nil {
+		rt.result.FluidContainerMinutes = rt.fl.fluidCM
+		rt.result.ExactContainerMinutes = rt.fl.exactCM
+	} else {
+		rt.result.ExactContainerMinutes = len(rt.states) * int(rt.cfg.DurationMin)
+	}
 	return rt.result
 }
 
@@ -951,6 +1020,11 @@ func (rt *Runtime) issueCall(svc string, tier workload.Tier, traceID int64, samp
 	serverRecv := clientSend + rt.cfg.NetworkDelayMs
 	ms := n.Microservice
 
+	if rt.fl != nil && rt.fl.fluid[ms] {
+		rt.fl.issueFluidCall(svc, tier, traceID, sampled, n, parentMS, parentID, stage, clientSend, serverRecv, onDone)
+		return
+	}
+
 	job := rt.getJob(svc, serverRecv)
 	job.Tier = tier
 	if ranks, ok := rt.cfg.Priorities[ms]; ok {
@@ -959,7 +1033,19 @@ func (rt *Runtime) issueCall(svc string, tier workload.Tier, traceID int64, samp
 	job.attempt = at
 	job.deadline = attemptDeadline
 	job.onFailed = onFail
-	job.onServed = func() {
+	job.onServed = rt.serveBody(svc, tier, traceID, sampled, n, parentMS, parentID, stage, attemptDeadline, at, clientSend, serverRecv, onDone, onFail)
+
+	rt.eng.At(serverRecv, func() { rt.enqueue(ms, job) })
+}
+
+// serveBody builds the callback that runs when a call's own processing
+// completes: record the node latency, execute downstream stages, emit the
+// sampled span, and resume the caller across the network. It is shared by
+// the discrete path (as Job.onServed) and the fluid fast path (scheduled
+// directly at the analytically drawn completion instant).
+func (rt *Runtime) serveBody(svc string, tier workload.Tier, traceID int64, sampled bool, n *graph.Node, parentMS string, parentID, stage int, attemptDeadline float64, at *attemptState, clientSend, serverRecv float64, onDone func(), onFail func(CallErr)) func() {
+	ms := n.Microservice
+	return func() {
 		// Own work done: record microservice latency (queue + processing).
 		latency := rt.eng.Now() - serverRecv
 		rt.recordNodeLatency(svc, ms, latency)
@@ -1026,8 +1112,6 @@ func (rt *Runtime) issueCall(svc string, tier workload.Tier, traceID int64, samp
 		}
 		runStage(0)
 	}
-
-	rt.eng.At(serverRecv, func() { rt.enqueue(ms, job) })
 }
 
 // kick starts queued work on free threads (after a completion or recovery).
@@ -1202,6 +1286,12 @@ func (rt *Runtime) updateUsage(cs *containerState) {
 // recordNodeLatency adds one microservice latency observation for the
 // current minute.
 func (rt *Runtime) recordNodeLatency(svc, ms string, latency float64) {
+	if rt.fl != nil && rt.fl.fluid[ms] {
+		// Fluid microservices synthesize their minute samples from the
+		// analytic model; the few discretely timed observations (sampled
+		// traces) would be a biased subset.
+		return
+	}
 	rv, ok := rt.latByMS[ms]
 	if !ok {
 		rv = stats.NewReservoir(rt.cfg.LatencySampleCap, rt.rng.Split())
@@ -1229,6 +1319,10 @@ func (rt *Runtime) flushMinute(m int, record bool) {
 			cpu += cs.c.Host.CPUUtil()
 			mem += cs.c.Host.MemUtil()
 		}
+		if rt.fl != nil {
+			calls += rt.fl.minuteCalls[ms]
+			rt.fl.minuteCalls[ms] = 0
+		}
 		n := float64(len(states))
 		sample := MinuteSample{
 			Minute:            m,
@@ -1243,6 +1337,13 @@ func (rt *Runtime) flushMinute(m int, record bool) {
 			sample.TailMs = rv.Quantile(0.95)
 			sample.MeanMs = stats.Mean(rv.Values())
 			delete(rt.latByMS, ms)
+		}
+		if rt.fl != nil && rt.fl.fluid[ms] && calls > 0 {
+			// Fluid minutes synthesize the latency columns from the analytic
+			// model that served the calls.
+			md := rt.fl.model[ms]
+			sample.TailMs = md.tailMs
+			sample.MeanMs = md.meanMs
 		}
 		if record {
 			rt.result.Samples = append(rt.result.Samples, sample)

@@ -11,10 +11,13 @@
 #   bench6  incremental sharded planning (PR 6): monolithic PlanSchemeCached
 #           vs IncrementalPlanner at 10% dirty services per window on the
 #           1000x50x10 topology           -> bench_6.txt, BENCH_6.json
-#   all     both targets in sequence
+#   bench7  simulator engine throughput (PR 10): serial exact engine vs the
+#           hybrid fluid/discrete partitioned engine, in simulated requests
+#           per wall-clock second         -> bench_7.txt, BENCH_7.json
+#   all     all targets in sequence
 #
 # Usage:
-#   scripts/bench.sh [bench5|bench6|all]   # default: all
+#   scripts/bench.sh [bench5|bench6|bench7|all]   # default: all
 #   BENCH_COUNT=10 scripts/bench.sh bench6
 #   BENCH_SMOKE=1 scripts/bench.sh bench5  # 1 iteration per benchmark (CI)
 #   BENCH_OUT=... BENCH_JSON=... scripts/bench.sh bench6   # override paths
@@ -105,15 +108,57 @@ bench6() {
 	echo "wrote $OUT and $JSON"
 }
 
+bench7() {
+	OUT="${BENCH_OUT:-bench_7.txt}"
+	JSON="${BENCH_JSON:-BENCH_7.json}"
+	echo "== bench7: simulator engine throughput (benchtime=$BENCHTIME count=$COUNT) =="
+	go test -run '^$' -bench 'BenchmarkEngineThroughput' \
+		-benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
+		./internal/sim | tee "$OUT"
+
+	# Fold into BENCH_7.json: mean simulated requests per second for the
+	# exact and hybrid engines on the 40-service shared-pool topology. The
+	# acceptance gate for PR 10 is hybrid / exact >= 3.
+	awk -v json="$JSON" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "req/s") {
+				rps[name] += $i
+				cnt[name]++
+			}
+		}
+	}
+	END {
+		exact = rps["BenchmarkEngineThroughput/exact"] / cnt["BenchmarkEngineThroughput/exact"]
+		hybrid = rps["BenchmarkEngineThroughput/hybrid"] / cnt["BenchmarkEngineThroughput/hybrid"]
+		speedup = hybrid / exact
+		printf "{\n" > json
+		printf "  \"benchmark\": \"BenchmarkEngineThroughput\",\n" >> json
+		printf "  \"topology\": {\"services\": 40, \"sharing_block\": 4, \"containers_per_microservice\": 2, \"hosts\": 16},\n" >> json
+		printf "  \"exact_requests_per_sec\": %.0f,\n", exact >> json
+		printf "  \"hybrid_requests_per_sec\": %.0f,\n", hybrid >> json
+		printf "  \"speedup\": %.2f,\n", speedup >> json
+		printf "  \"gate\": \"speedup >= 3\",\n" >> json
+		printf "  \"pass\": %s\n", (speedup >= 3 ? "true" : "false") >> json
+		printf "}\n" >> json
+		printf "bench7 speedup: %.2fx (gate >= 3): %s\n", speedup, (speedup >= 3 ? "PASS" : "FAIL")
+	}' "$OUT"
+	echo "wrote $OUT and $JSON"
+}
+
 case "$TARGET" in
 bench5) bench5 ;;
 bench6) bench6 ;;
+bench7) bench7 ;;
 all)
 	bench5
 	bench6
+	bench7
 	;;
 *)
-	echo "usage: scripts/bench.sh [bench5|bench6|all]" >&2
+	echo "usage: scripts/bench.sh [bench5|bench6|bench7|all]" >&2
 	exit 2
 	;;
 esac

@@ -126,3 +126,25 @@ go test -count=1 \
 	-run 'TestFigOperator|TestOperatorFixturesMatchExamples|TestAllCountersExportOnMetrics' \
 	./internal/experiments ./internal/obs
 go test -count=1 ./internal/operator
+
+# The simulator scale-out gates (PR 10).
+#
+# TestRunPartitionedExactIdenticalAcrossWorkersAndPartitions is the headline
+# determinism contract: exact partitioned output — reservoirs, samples,
+# spans, stream rows — is byte-identical at workers 1 vs 4 and at any
+# Partitions setting. TestRunPartitionedHybridDeterministic pins the same
+# invariance with the fluid fast path engaged, TestHybridFidelity is the
+# fidelity-tolerance regression table (hybrid P95 / violation rate vs exact,
+# requests conserved), and TestFigSimDeterministicAcrossWorkers renders the
+# figSim deterministic table at both worker counts.
+echo "== simulator scale-out (partition determinism + hybrid fidelity, workers=1 vs 4) =="
+go test -count=1 \
+	-run 'TestRunPartitioned|TestHybridFidelity|TestFluidEligibility|TestSharingGroups' \
+	./internal/sim
+go test -count=1 -run 'TestFigSimDeterministicAcrossWorkers' ./internal/experiments
+
+# One-iteration smoke of the engine-throughput bench harness and its
+# BENCH_7.json fold.
+echo "== bench7 smoke (1 iteration) =="
+BENCH_SMOKE=1 BENCH_OUT=/tmp/bench_7_smoke.txt BENCH_JSON=/tmp/BENCH_7_smoke.json \
+	scripts/bench.sh bench7 >/dev/null
